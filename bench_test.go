@@ -1,0 +1,75 @@
+package tmcc
+
+// One benchmark per paper table/figure: each iteration regenerates the
+// result (CI-sized windows) and reports the headline number the paper
+// gives, so `go test -bench` doubles as the reproduction harness. Full-size
+// runs go through cmd/tmccsim.
+
+import (
+	"testing"
+
+	"tmcc/internal/exp"
+)
+
+// benchExp runs one experiment per iteration and reports a headline metric
+// extracted from the final row.
+func benchExp(b *testing.B, id string, metricCol int, metricName string) {
+	b.Helper()
+	cfg := exp.Config{Seed: 42, Quick: true}
+	r, ok := exp.Get(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	var last float64
+	for i := 0; i < b.N; i++ {
+		t, err := r(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		row := t.Rows[len(t.Rows)-1]
+		if metricCol < len(row.Vals) {
+			last = row.Vals[metricCol]
+		}
+	}
+	b.ReportMetric(last, metricName)
+}
+
+// --- Problem study (Section III) ---
+
+func BenchmarkFig1TLBvsCTEMisses(b *testing.B)  { benchExp(b, "fig1", 1, "cte/llc-avg") }
+func BenchmarkFig2CTECacheHits(b *testing.B)    { benchExp(b, "fig2", 0, "cte$-hit-avg") }
+func BenchmarkFig5WalkCorrelation(b *testing.B) { benchExp(b, "fig5", 0, "walk-related") }
+func BenchmarkFig6PTBHomogeneity(b *testing.B)  { benchExp(b, "fig6", 0, "l1-identical") }
+
+// --- ASIC Deflate (Section V-B) ---
+
+func BenchmarkTab1Synthesis(b *testing.B)     { benchExp(b, "tab1", 0, "area-mm2") }
+func BenchmarkTab2DeflateTiming(b *testing.B) { benchExp(b, "tab2", 0, "ibm-comp-ns") }
+func BenchmarkFig15Compression(b *testing.B)  { benchExp(b, "fig15", 1, "deflate-geomean") }
+
+// --- Main evaluation (Section VII) ---
+
+func BenchmarkFig16MemoryIntensity(b *testing.B) { benchExp(b, "fig16", 0, "read-util-avg") }
+func BenchmarkFig17Performance(b *testing.B)     { benchExp(b, "fig17", 0, "tmcc/compresso") }
+func BenchmarkFig18L3MissLatency(b *testing.B)   { benchExp(b, "fig18", 2, "tmcc-ns") }
+func BenchmarkFig19AccessMix(b *testing.B)       { benchExp(b, "fig19", 1, "parallel-frac") }
+func BenchmarkTab4IsoPerfCapacity(b *testing.B)  { benchExp(b, "tab4", 5, "colF-avg") }
+func BenchmarkFig20AblationSplit(b *testing.B)   { benchExp(b, "fig20", 3, "tmcc-vs-barebone") }
+func BenchmarkFig21ML2Rate(b *testing.B)         { benchExp(b, "fig21", 0, "colB-avg") }
+
+// --- Discussion (Section VIII) ---
+
+func BenchmarkFig22Interleaving(b *testing.B) { benchExp(b, "fig22", 0, "compatible-ratio") }
+func BenchmarkSensSmall(b *testing.B)         { benchExp(b, "senssmall", 1, "capacity-ratio") }
+func BenchmarkSensHuge(b *testing.B)          { benchExp(b, "senshuge", 0, "tmcc/compresso") }
+
+// --- Design-choice ablations (DESIGN.md) ---
+
+func BenchmarkAblationCTEReach(b *testing.B)       { benchExp(b, "ablation-cte", 2, "page-reach-missrate") }
+func BenchmarkAblationLZCAM(b *testing.B)          { benchExp(b, "ablation-cam", 1, "4KB-rel") }
+func BenchmarkAblationTree(b *testing.B)           { benchExp(b, "ablation-tree", 0, "ratio") }
+func BenchmarkExt2DWalk(b *testing.B)              { benchExp(b, "ext-2dwalk", 1, "virt-ratio") }
+func BenchmarkAblationGeneralPurpose(b *testing.B) { benchExp(b, "ablation-gp", 1, "decompress-ns") }
+func BenchmarkAblationCTEBuffer(b *testing.B)      { benchExp(b, "ablation-ctebuf", 0, "parallel-frac") }
+func BenchmarkAblationRecency(b *testing.B)        { benchExp(b, "ablation-recency", 0, "ml2-rate") }
+func BenchmarkAblationTLBReach(b *testing.B)       { benchExp(b, "ablation-tlb", 1, "tmcc/compresso") }

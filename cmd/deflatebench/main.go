@@ -1,0 +1,100 @@
+// Command deflatebench exercises the memory-specialized ASIC Deflate the
+// way the paper's artifact does: it compresses and decompresses 4KB pages,
+// verifies bit-exactness ("failed pages should read 0"), and reports
+// compression ratios and the Table II cycle-model timing. Input is either a
+// file (split into 4KB pages) or a synthetic dump for a named benchmark
+// profile.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+
+	"tmcc/internal/content"
+	"tmcc/internal/memdeflate"
+)
+
+func main() {
+	var (
+		file    = flag.String("file", "", "compress this file's 4KB pages instead of a synthetic dump")
+		profile = flag.String("profile", "suite-spec", "content profile for the synthetic dump")
+		pages   = flag.Int("pages", 1000, "synthetic dump size in pages")
+		window  = flag.Int("window", 1024, "LZ CAM size (256..4096)")
+		skip    = flag.Bool("skip", false, "enable dynamic Huffman skipping")
+		seed    = flag.Int64("seed", 42, "dump seed")
+	)
+	flag.Parse()
+
+	p := memdeflate.DefaultParams()
+	p.WindowSize = *window
+	p.DynamicSkip = *skip
+	codec := memdeflate.New(p)
+
+	var dump [][]byte
+	if *file != "" {
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for i := 0; i+4096 <= len(data); i += 4096 {
+			dump = append(dump, data[i:i+4096])
+		}
+	} else {
+		prof, ok := content.ProfileFor(*profile)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown profile %q\n", *profile)
+			os.Exit(1)
+		}
+		gen := prof.Generator(*seed)
+		for i := 0; i < *pages; i++ {
+			dump = append(dump, gen.Page())
+		}
+	}
+
+	var in, out int
+	var failed, incompressible, zero int
+	var sumComp, sumDec, sumHalf float64
+	for _, page := range dump {
+		if allZero(page) {
+			zero++
+			continue // the paper's methodology discards all-zero pages
+		}
+		in += len(page)
+		enc, st, ok := codec.Compress(page)
+		out += st.EncodedSize
+		tm := codec.Timing(st)
+		sumComp += float64(tm.CompressLatency) / 1000
+		sumDec += float64(tm.DecompressLatency) / 1000
+		sumHalf += float64(tm.HalfPageLatency) / 1000
+		if !ok {
+			incompressible++
+			continue
+		}
+		dec, err := codec.Decompress(enc)
+		if err != nil || !bytes.Equal(dec, page) {
+			failed++
+		}
+	}
+	n := float64(len(dump) - zero)
+	fmt.Printf("pages: %d (zero pages discarded: %d)\n", len(dump)-zero, zero)
+	fmt.Printf("failed (pages): %d\n", failed)
+	fmt.Printf("incompressible: %d\n", incompressible)
+	fmt.Printf("compression ratio: %.2fx\n", float64(in)/float64(out))
+	fmt.Printf("avg compress latency: %.0f ns\n", sumComp/n)
+	fmt.Printf("avg decompress latency: %.0f ns (half-page %.0f ns)\n", sumDec/n, sumHalf/n)
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func allZero(p []byte) bool {
+	for _, b := range p {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,57 @@
+// Command ptbscan reproduces the paper's page-table-dump experiment
+// (Figure 6): it builds a modeled address space, scans every page table
+// block, and reports the fraction whose eight PTEs carry identical status
+// bits, per level — the property that makes hardware PTB compression
+// (Figure 7) almost always applicable.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"tmcc/internal/pagetable"
+	"tmcc/internal/ptbcomp"
+)
+
+func main() {
+	var (
+		pages = flag.Uint64("pages", 1<<20, "mapped data pages")
+		seed  = flag.Int64("seed", 42, "allocator seed")
+		huge  = flag.Bool("huge", false, "map with 2MB pages")
+	)
+	flag.Parse()
+
+	cfg := pagetable.DefaultOSConfig(*seed)
+	cfg.HugePages = *huge
+	as := pagetable.BuildAddressSpace(*pages, *pages*4, cfg)
+
+	pcfg := ptbcomp.NewConfig(*pages*4*4096, 1<<40)
+	same := map[int]int{}
+	total := map[int]int{}
+	compressible := 0
+	all := 0
+	as.Table.PTBs(func(b pagetable.PTB) {
+		total[b.Level]++
+		all++
+		if pcfg.Compressible(&b.PTEs) {
+			compressible++
+		}
+		s0 := pagetable.StatusBits(b.PTEs[0])
+		for _, pte := range b.PTEs[1:] {
+			if pagetable.StatusBits(pte) != s0 {
+				return
+			}
+		}
+		same[b.Level]++
+	})
+	for _, lvl := range []int{1, 2, 3, 4} {
+		if total[lvl] == 0 {
+			continue
+		}
+		fmt.Printf("L%d PTBs: %7d  identical status bits: %.4f\n",
+			lvl, total[lvl], float64(same[lvl])/float64(total[lvl]))
+	}
+	fmt.Printf("hardware-compressible PTBs overall: %.4f (embeds up to %d CTEs each)\n",
+		float64(compressible)/float64(all), pcfg.MaxEmbeddable())
+	fmt.Printf("paper reference: L1 0.9994, L2 0.993\n")
+}

@@ -1,0 +1,79 @@
+// Command simcal is a development tool: it runs every benchmark under the
+// no-compression and Compresso configurations and prints the calibration
+// targets from the paper's problem-statement figures — TLB and CTE misses
+// per LLC miss (Figure 1), bus utilization (Figure 16), and unloaded L3
+// miss latency (Figure 18) — so the workload knobs can be tuned.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"tmcc/internal/mc"
+	"tmcc/internal/sim"
+	"tmcc/internal/workload"
+)
+
+func main() {
+	n := flag.Int("n", 60000, "measured accesses")
+	warm := flag.Int("warm", 60000, "warmup accesses")
+	mode := flag.String("mode", "problem", "problem | perf")
+	flag.Parse()
+
+	if *mode == "perf" {
+		perf(*n, *warm)
+		return
+	}
+
+	fmt.Printf("%-13s %6s %6s %6s %6s %6s %7s %7s %6s\n",
+		"bench", "ipc", "llc/ma", "tlb/llc", "cte/llc", "util", "l3.nc", "l3.cp", "spcNC")
+	for _, b := range workload.LargeBenchmarks() {
+		nc := run(b, mc.Uncompressed, *n, *warm)
+		cp := run(b, mc.Compresso, *n, *warm)
+		fmt.Printf("%-13s %6.3f %6.3f %7.3f %7.3f %6.2f %7.1f %7.1f %6.4f\n",
+			b,
+			nc.IPC(),
+			float64(nc.LLCMisses)/float64(nc.MemAccesses),
+			float64(nc.TLBMisses)/float64(nc.LLCMisses),
+			float64(cp.MC.CTEMisses)/float64(cp.LLCMisses),
+			nc.BusUtilization,
+			nc.AvgL3MissLatencyNS(),
+			cp.AvgL3MissLatencyNS(),
+			nc.StoresPerCycle(),
+		)
+	}
+}
+
+func perf(n, warm int) {
+	fmt.Printf("%-13s %7s %7s %7s %7s %7s %6s %6s %6s\n",
+		"bench", "spc.cp", "spc.os", "spc.tm", "tm/cp", "os/cp", "l3.cp", "l3.tm", "ml2.tm")
+	var sumT, sumO float64
+	for _, b := range workload.LargeBenchmarks() {
+		cp := run(b, mc.Compresso, n, warm)
+		os := run(b, mc.OSInspired, n, warm)
+		tm := run(b, mc.TMCC, n, warm)
+		rt := tm.StoresPerCycle() / cp.StoresPerCycle()
+		ro := os.StoresPerCycle() / cp.StoresPerCycle()
+		sumT += rt
+		sumO += ro
+		fmt.Printf("%-13s %7.4f %7.4f %7.4f %7.3f %7.3f %6.1f %6.1f %6.3f\n",
+			b, cp.StoresPerCycle(), os.StoresPerCycle(), tm.StoresPerCycle(),
+			rt, ro, cp.AvgL3MissLatencyNS(), tm.AvgL3MissLatencyNS(),
+			float64(tm.MC.ML2Reads)/float64(tm.LLCMisses))
+	}
+	fmt.Printf("geo-ish mean tmcc/compresso %.3f  os/compresso %.3f\n", sumT/12, sumO/12)
+}
+
+func run(bench string, kind mc.Kind, n, warm int) sim.Metrics {
+	r, err := sim.NewRunner(sim.Options{
+		Benchmark:       bench,
+		Kind:            kind,
+		WarmupAccesses:  warm,
+		MeasureAccesses: n,
+		Seed:            42,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return r.Run()
+}

@@ -1,0 +1,71 @@
+// Command tmccsim regenerates the paper's tables and figures. Each
+// experiment id maps to one table/figure of "Translation-optimized Memory
+// Compression for Capacity" (MICRO 2022); see DESIGN.md for the index.
+//
+// Usage:
+//
+//	tmccsim -list
+//	tmccsim -exp fig17
+//	tmccsim -all [-quick] [-seed 42]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tmcc/internal/exp"
+)
+
+func main() {
+	var (
+		id     = flag.String("exp", "", "experiment id (fig1, fig17, tab4, ...)")
+		all    = flag.Bool("all", false, "run every experiment")
+		list   = flag.Bool("list", false, "list experiment ids")
+		quick  = flag.Bool("quick", false, "shorter windows (CI-sized)")
+		seed   = flag.Int64("seed", 42, "simulation seed")
+		format = flag.String("format", "text", "output format: text | markdown | csv")
+	)
+	flag.Parse()
+
+	cfg := exp.Config{Seed: *seed, Quick: *quick}
+	render = *format
+
+	switch {
+	case *list:
+		fmt.Println(strings.Join(exp.IDs(), "\n"))
+	case *all:
+		for _, eid := range exp.IDs() {
+			run(eid, cfg)
+		}
+	case *id != "":
+		run(*id, cfg)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+var render = "text"
+
+func run(id string, cfg exp.Config) {
+	r, ok := exp.Get(id)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; -list shows ids\n", id)
+		os.Exit(1)
+	}
+	t, err := r(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+		os.Exit(1)
+	}
+	switch render {
+	case "markdown":
+		fmt.Println(t.Markdown())
+	case "csv":
+		fmt.Println(t.CSV())
+	default:
+		fmt.Println(t.String())
+	}
+}

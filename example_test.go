@@ -1,0 +1,66 @@
+package tmcc_test
+
+import (
+	"fmt"
+
+	"tmcc"
+)
+
+// Compressing one 4KB page with the memory-specialized ASIC Deflate and
+// reading the Table II cycle model for it.
+func ExampleNewCompressor() {
+	codec := tmcc.NewCompressor(tmcc.DefaultCompressorParams())
+
+	page := make([]byte, 4096)
+	for i := range page {
+		page[i] = byte(i % 100) // a compressible ramp
+	}
+	enc, stats, ok := codec.Compress(page)
+	fmt.Println("compressible:", ok)
+	fmt.Println("fits in half a page:", stats.EncodedSize < 2048)
+
+	dec, err := codec.Decompress(enc)
+	fmt.Println("round trip ok:", err == nil && string(dec) == string(page))
+
+	tm := codec.Timing(stats)
+	fmt.Println("decompress under 400ns:", tm.DecompressLatency < 400_000)
+	// Output:
+	// compressible: true
+	// fits in half a page: true
+	// round trip ok: true
+	// decompress under 400ns: true
+}
+
+// Running a short simulation of one benchmark under TMCC.
+func ExampleSimulate() {
+	m, err := tmcc.Simulate(tmcc.SimOptions{
+		Benchmark:       "canneal",
+		Kind:            tmcc.TMCC,
+		WarmupAccesses:  20000,
+		MeasureAccesses: 15000,
+		Seed:            1,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("executed instructions:", m.Instructions > 0)
+	fmt.Println("saw LLC misses:", m.LLCMisses > 0)
+	fmt.Println("used less DRAM than the footprint:", m.Used < 73728)
+	// Output:
+	// executed instructions: true
+	// saw LLC misses: true
+	// used less DRAM than the footprint: true
+}
+
+// Regenerating a paper table by id.
+func ExampleRunExperiment() {
+	tab, err := tmcc.RunExperiment("tab1", tmcc.ExpConfig{Quick: true})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(tab.ID, len(tab.Rows), "rows")
+	// Output:
+	// tab1 5 rows
+}

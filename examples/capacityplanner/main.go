@@ -1,0 +1,52 @@
+// Capacity planner: Table IV as a tool. Given a benchmark, sweep the DRAM
+// budget from Compresso's natural usage down toward the fully-compressed
+// floor and report performance at each point — the curve an operator would
+// use to pick how much memory to actually provision under TMCC.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"tmcc"
+)
+
+func main() {
+	bench := flag.String("bench", "pageRank", "benchmark to plan for")
+	n := flag.Int("n", 30000, "measured accesses per point")
+	warm := flag.Int("warm", 50000, "warmup accesses per point")
+	flag.Parse()
+
+	base := tmcc.CompressoUsagePages(*bench, 42)
+	cp, err := tmcc.Simulate(tmcc.SimOptions{
+		Benchmark: *bench, Kind: tmcc.Compresso, BudgetPages: base,
+		WarmupAccesses: *warm, MeasureAccesses: *n, Seed: 42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: Compresso uses %d pages (%.1f MB) at %.4f stores/cycle\n\n",
+		*bench, base, float64(base)*4/1024, cp.StoresPerCycle())
+	fmt.Printf("%-10s %12s %12s %14s %10s\n",
+		"budget", "MB", "vs-compresso", "perf-ratio", "ml2-rate")
+
+	for _, frac := range []float64{1.0, 0.85, 0.7, 0.6, 0.52, 0.46, 0.42} {
+		budget := uint64(float64(base) * frac)
+		m, err := tmcc.Simulate(tmcc.SimOptions{
+			Benchmark: *bench, Kind: tmcc.TMCC, BudgetPages: budget,
+			WarmupAccesses: *warm, MeasureAccesses: *n, Seed: 42,
+		})
+		if err != nil {
+			fmt.Printf("%-10d %12.1f %12.2f %14s %10s\n",
+				budget, float64(budget)*4/1024, frac, "infeasible", "-")
+			continue
+		}
+		fmt.Printf("%-10d %12.1f %12.2f %14.3f %10.4f\n",
+			budget, float64(budget)*4/1024, frac,
+			m.StoresPerCycle()/cp.StoresPerCycle(),
+			float64(m.MC.ML2Reads)/float64(m.LLCMisses+m.Writebacks+1))
+	}
+	fmt.Println("\npick the smallest budget whose perf-ratio stays >= 0.99:")
+	fmt.Println("that is Table IV's column C operating point for this workload.")
+}

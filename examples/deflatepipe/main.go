@@ -1,0 +1,71 @@
+// Deflate pipeline explorer: use the memory-specialized ASIC Deflate as a
+// standalone library and explore the paper's Section V-B design space on
+// your own data — CAM size vs ratio vs modeled latency — the trade-off
+// Figure 14's hardware freezes at 1KB.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"tmcc"
+	"tmcc/internal/content"
+)
+
+func main() {
+	file := flag.String("file", "", "optional input file (4KB pages); default: synthetic SPEC-like dump")
+	pages := flag.Int("pages", 400, "synthetic pages when no file is given")
+	flag.Parse()
+
+	var dump [][]byte
+	if *file != "" {
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := 0; i+4096 <= len(data); i += 4096 {
+			dump = append(dump, data[i:i+4096])
+		}
+	} else {
+		prof, _ := content.ProfileFor("suite-spec")
+		gen := prof.Generator(7)
+		for i := 0; i < *pages; i++ {
+			dump = append(dump, gen.Page())
+		}
+	}
+
+	fmt.Printf("%8s %10s %14s %14s %12s\n",
+		"CAM", "ratio", "compress-ns", "decompress-ns", "verified")
+	for _, window := range []int{256, 512, 1024, 2048, 4096} {
+		p := tmcc.DefaultCompressorParams()
+		p.WindowSize = window
+		codec := tmcc.NewCompressor(p)
+		var in, out int
+		var sumC, sumD float64
+		verified := true
+		n := 0
+		for _, page := range dump {
+			in += len(page)
+			enc, st, ok := codec.Compress(page)
+			out += st.EncodedSize
+			tm := codec.Timing(st)
+			sumC += float64(tm.CompressLatency) / 1000
+			sumD += float64(tm.DecompressLatency) / 1000
+			n++
+			if !ok {
+				continue
+			}
+			dec, err := codec.Decompress(enc)
+			if err != nil || !bytes.Equal(dec, page) {
+				verified = false
+			}
+		}
+		fmt.Printf("%8d %9.2fx %14.0f %14.0f %12v\n",
+			window, float64(in)/float64(out), sumC/float64(n), sumD/float64(n), verified)
+	}
+	fmt.Println("\nthe paper converges on the 1KB CAM: ~1.6% ratio loss vs 4KB")
+	fmt.Println("for a quarter of the compressor area (Section V-B2).")
+}

@@ -1,0 +1,55 @@
+// Graph analytics under hardware memory compression: runs the GraphBIG-like
+// kernels (the paper's headline workloads) under all four memory-controller
+// designs at the same DRAM budget and prints a Figure 17/18-style summary —
+// who wins where and why (translation behaviour).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"tmcc"
+)
+
+func main() {
+	n := flag.Int("n", 30000, "measured accesses per run")
+	warm := flag.Int("warm", 50000, "warmup accesses per run")
+	flag.Parse()
+
+	kernels := []string{"pageRank", "bfs", "shortestPath", "kcore"}
+	designs := []tmcc.Design{tmcc.Uncompressed, tmcc.Compresso, tmcc.OSInspired, tmcc.TMCC}
+
+	fmt.Printf("%-14s", "kernel")
+	for _, d := range designs {
+		fmt.Printf(" %14v", d)
+	}
+	fmt.Println("  (stores/cycle; L3 miss ns in parens)")
+
+	for _, k := range kernels {
+		fmt.Printf("%-14s", k)
+		budget := tmcc.CompressoUsagePages(k, 42) // iso-capacity comparison
+		for _, d := range designs {
+			opt := tmcc.SimOptions{
+				Benchmark:       k,
+				Kind:            d,
+				BudgetPages:     budget,
+				WarmupAccesses:  *warm,
+				MeasureAccesses: *n,
+				Seed:            42,
+			}
+			if d == tmcc.Uncompressed {
+				opt.BudgetPages = 0 // uncompressed needs the full footprint
+			}
+			m, err := tmcc.Simulate(opt)
+			if err != nil {
+				log.Fatalf("%s/%v: %v", k, d, err)
+			}
+			fmt.Printf("  %.4f (%4.0f)", m.StoresPerCycle(), m.AvgL3MissLatencyNS())
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nTMCC ~matches the uncompressed latency while using Compresso's budget:")
+	fmt.Println("its page walks prefetch the compression translations (embedded CTEs),")
+	fmt.Println("so CTE-cache misses overlap with the data access instead of serializing.")
+}

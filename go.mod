@@ -1,0 +1,3 @@
+module tmcc
+
+go 1.22

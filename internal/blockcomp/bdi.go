@@ -1,0 +1,201 @@
+package blockcomp
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// BDI implements Base-Delta-Immediate compression (Pekhimenko et al.,
+// PACT 2012) for 64-byte blocks. The hardware tries a fixed menu of
+// (base size, delta size) configurations plus two special cases
+// (all-zero and repeated-value) and picks the smallest that fits.
+type BDI struct{}
+
+// Name implements Compressor.
+func (BDI) Name() string { return "bdi" }
+
+// bdiConfig is one (base, delta) encoding option. Sizes in bytes.
+type bdiConfig struct {
+	id    byte
+	base  int
+	delta int
+}
+
+// The canonical eight BDI configurations (beyond raw).
+var bdiConfigs = []bdiConfig{
+	{2, 8, 1}, {3, 8, 2}, {4, 8, 4},
+	{5, 4, 1}, {6, 4, 2},
+	{7, 2, 1},
+}
+
+const (
+	bdiTagZero = 0
+	bdiTagRep  = 1
+)
+
+// bdiEncodedSize returns the payload size for cfg: one base + one delta per
+// word, plus a 1-byte tag.
+func bdiEncodedSize(cfg bdiConfig) int {
+	words := BlockSize / cfg.base
+	return 1 + cfg.base + words*cfg.delta
+}
+
+// fitsSigned reports whether v fits in a signed integer of n bytes.
+func fitsSigned(v int64, n int) bool {
+	lim := int64(1) << (uint(n)*8 - 1)
+	return v >= -lim && v < lim
+}
+
+func readWord(block []byte, i, size int) uint64 {
+	switch size {
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(block[i*2:]))
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(block[i*4:]))
+	case 8:
+		return binary.LittleEndian.Uint64(block[i*8:])
+	}
+	panic("bdi: bad word size")
+}
+
+// tryConfig reports whether block encodes under cfg using the first word as
+// the base (the common hardware choice; a zero immediate base is also tried
+// implicitly by the zero check).
+func tryConfig(block []byte, cfg bdiConfig) bool {
+	words := BlockSize / cfg.base
+	base := readWord(block, 0, cfg.base)
+	for i := 0; i < words; i++ {
+		d := int64(readWord(block, i, cfg.base) - base)
+		if !fitsSigned(d, cfg.delta) {
+			return false
+		}
+	}
+	return true
+}
+
+func isRepeated(block []byte) bool {
+	first := binary.LittleEndian.Uint64(block)
+	for i := 1; i < BlockSize/8; i++ {
+		if binary.LittleEndian.Uint64(block[i*8:]) != first {
+			return false
+		}
+	}
+	return true
+}
+
+// CompressedSize implements Compressor.
+func (BDI) CompressedSize(block []byte) int {
+	checkBlock(block)
+	if (ZeroBlock{}).CompressedSize(block) == 1 {
+		return 1
+	}
+	best := BlockSize
+	if isRepeated(block) {
+		best = 1 + 8
+	}
+	for _, cfg := range bdiConfigs {
+		size := bdiEncodedSize(cfg)
+		if size >= best {
+			continue
+		}
+		if tryConfig(block, cfg) {
+			best = size
+		}
+	}
+	return best
+}
+
+// Compress implements Codec.
+func (b BDI) Compress(block []byte) ([]byte, bool) {
+	checkBlock(block)
+	if (ZeroBlock{}).CompressedSize(block) == 1 {
+		return []byte{bdiTagZero}, true
+	}
+	type cand struct {
+		cfg  bdiConfig
+		size int
+	}
+	best := cand{size: BlockSize}
+	repeated := isRepeated(block)
+	if repeated {
+		best.size = 9
+	}
+	for _, cfg := range bdiConfigs {
+		size := bdiEncodedSize(cfg)
+		if size < best.size && tryConfig(block, cfg) {
+			best = cand{cfg: cfg, size: size}
+		}
+	}
+	if best.size == BlockSize {
+		return nil, false
+	}
+	if best.cfg.id == 0 { // repeated-value won
+		out := make([]byte, 9)
+		out[0] = bdiTagRep
+		copy(out[1:], block[:8])
+		return out, true
+	}
+	cfg := best.cfg
+	words := BlockSize / cfg.base
+	out := make([]byte, 0, best.size)
+	out = append(out, cfg.id)
+	out = append(out, block[:cfg.base]...) // base = first word
+	base := readWord(block, 0, cfg.base)
+	var buf [8]byte
+	for i := 0; i < words; i++ {
+		d := readWord(block, i, cfg.base) - base
+		binary.LittleEndian.PutUint64(buf[:], d)
+		out = append(out, buf[:cfg.delta]...)
+	}
+	return out, true
+}
+
+// Decompress implements Codec.
+func (BDI) Decompress(enc []byte) ([]byte, error) {
+	if len(enc) == 0 {
+		return nil, fmt.Errorf("bdi: empty encoding")
+	}
+	out := make([]byte, BlockSize)
+	switch enc[0] {
+	case bdiTagZero:
+		return out, nil
+	case bdiTagRep:
+		if len(enc) != 9 {
+			return nil, fmt.Errorf("bdi: bad repeated-value encoding")
+		}
+		for i := 0; i < BlockSize; i += 8 {
+			copy(out[i:], enc[1:9])
+		}
+		return out, nil
+	}
+	var cfg bdiConfig
+	for _, c := range bdiConfigs {
+		if c.id == enc[0] {
+			cfg = c
+		}
+	}
+	if cfg.id == 0 {
+		return nil, fmt.Errorf("bdi: unknown config id %d", enc[0])
+	}
+	if len(enc) != bdiEncodedSize(cfg) {
+		return nil, fmt.Errorf("bdi: bad length %d for config %d", len(enc), cfg.id)
+	}
+	var basebuf [8]byte
+	copy(basebuf[:], enc[1:1+cfg.base])
+	base := binary.LittleEndian.Uint64(basebuf[:])
+	words := BlockSize / cfg.base
+	deltas := enc[1+cfg.base:]
+	for i := 0; i < words; i++ {
+		var dbuf [8]byte
+		copy(dbuf[:], deltas[i*cfg.delta:(i+1)*cfg.delta])
+		d := binary.LittleEndian.Uint64(dbuf[:])
+		// Sign-extend the delta.
+		shift := uint(64 - cfg.delta*8)
+		sd := int64(d<<shift) >> shift
+		v := base + uint64(sd)
+		var vbuf [8]byte
+		binary.LittleEndian.PutUint64(vbuf[:], v)
+		copy(out[i*cfg.base:], vbuf[:cfg.base])
+	}
+	return out, nil
+}

@@ -1,0 +1,55 @@
+package blockcomp
+
+// bitWriter accumulates an MSB-first bitstream.
+type bitWriter struct {
+	buf  []byte
+	nbit uint // bits written into the last byte (0..7)
+}
+
+func (w *bitWriter) writeBits(v uint64, n uint) {
+	for n > 0 {
+		if w.nbit == 0 {
+			w.buf = append(w.buf, 0)
+		}
+		take := 8 - w.nbit
+		if take > n {
+			take = n
+		}
+		bits := (v >> (n - take)) & ((1 << take) - 1)
+		w.buf[len(w.buf)-1] |= byte(bits << (8 - w.nbit - take))
+		w.nbit = (w.nbit + take) % 8
+		n -= take
+	}
+}
+
+// lenBits returns the total number of bits written.
+func (w *bitWriter) lenBits() int {
+	if w.nbit == 0 {
+		return len(w.buf) * 8
+	}
+	return (len(w.buf)-1)*8 + int(w.nbit)
+}
+
+// bytes returns the stream padded to a whole byte.
+func (w *bitWriter) bytes() []byte { return w.buf }
+
+// bitReader consumes an MSB-first bitstream.
+type bitReader struct {
+	buf []byte
+	pos int // bit position
+}
+
+func (r *bitReader) readBits(n uint) (uint64, bool) {
+	if r.pos+int(n) > len(r.buf)*8 {
+		return 0, false
+	}
+	var v uint64
+	for i := uint(0); i < n; i++ {
+		byteIdx := (r.pos + int(i)) / 8
+		bitIdx := uint(r.pos+int(i)) % 8
+		bit := (r.buf[byteIdx] >> (7 - bitIdx)) & 1
+		v = v<<1 | uint64(bit)
+	}
+	r.pos += int(n)
+	return v, true
+}

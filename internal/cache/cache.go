@@ -1,0 +1,137 @@
+// Package cache models the on-chip cache hierarchy of Table III: per-core
+// L1 and inclusive L2, a shared exclusive L3, plus the simple next-line and
+// stride prefetchers the paper simulates. Caches here are tag stores with
+// LRU replacement — the simulator composes their hit/miss outcomes with the
+// fixed hit latencies from Table III; data values live elsewhere (the
+// simulation is execution-driven for addresses, functional for contents).
+package cache
+
+// Cache is a set-associative LRU tag store over 64B block numbers.
+type Cache struct {
+	sets  int
+	ways  int
+	tags  []uint64 // +1 encoding, 0 = invalid
+	stamp []uint64
+	flags []uint8
+	clock uint64
+
+	Hits   uint64
+	Misses uint64
+}
+
+// Line flags.
+const (
+	FlagDirty uint8 = 1 << iota
+	// FlagCompressedPTB is TMCC's per-line "new data bit" (Section V-A4):
+	// the line holds a hardware-compressed PTB with embedded CTEs.
+	FlagCompressedPTB
+)
+
+// New builds a cache of the given total size in bytes with 64B lines.
+func New(sizeBytes, ways int) *Cache {
+	lines := sizeBytes / 64
+	if lines < ways {
+		ways = lines
+	}
+	return &Cache{
+		sets:  lines / ways,
+		ways:  ways,
+		tags:  make([]uint64, lines),
+		stamp: make([]uint64, lines),
+		flags: make([]uint8, lines),
+	}
+}
+
+func (c *Cache) find(block uint64) int {
+	base := int(block%uint64(c.sets)) * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+w] == block+1 {
+			return base + w
+		}
+	}
+	return -1
+}
+
+// Access probes for block; on hit it refreshes recency and returns true.
+func (c *Cache) Access(block uint64) bool {
+	c.clock++
+	if i := c.find(block); i >= 0 {
+		c.stamp[i] = c.clock
+		c.Hits++
+		return true
+	}
+	c.Misses++
+	return false
+}
+
+// Probe checks presence without touching recency or counters.
+func (c *Cache) Probe(block uint64) bool { return c.find(block) >= 0 }
+
+// Flags returns the line flags; ok=false if absent.
+func (c *Cache) Flags(block uint64) (uint8, bool) {
+	if i := c.find(block); i >= 0 {
+		return c.flags[i], true
+	}
+	return 0, false
+}
+
+// SetFlags overwrites the flags of a present line.
+func (c *Cache) SetFlags(block uint64, f uint8) {
+	if i := c.find(block); i >= 0 {
+		c.flags[i] = f
+	}
+}
+
+// OrFlags sets bits on a present line.
+func (c *Cache) OrFlags(block uint64, f uint8) {
+	if i := c.find(block); i >= 0 {
+		c.flags[i] |= f
+	}
+}
+
+// Victim describes an evicted line.
+type Victim struct {
+	Block uint64
+	Flags uint8
+	Valid bool
+}
+
+// Insert fills block (with flags) and returns the victim, if a valid line
+// was displaced.
+func (c *Cache) Insert(block uint64, flags uint8) Victim {
+	base := int(block%uint64(c.sets)) * c.ways
+	victim := base
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+w] == 0 {
+			victim = base + w
+			break
+		}
+		if c.stamp[base+w] < c.stamp[victim] {
+			victim = base + w
+		}
+	}
+	var out Victim
+	if c.tags[victim] != 0 && c.tags[victim] != block+1 {
+		out = Victim{Block: c.tags[victim] - 1, Flags: c.flags[victim], Valid: true}
+	}
+	c.clock++
+	c.tags[victim] = block + 1
+	c.stamp[victim] = c.clock
+	c.flags[victim] = flags
+	return out
+}
+
+// Invalidate removes block (for exclusive-L3 promotion), returning its
+// flags.
+func (c *Cache) Invalidate(block uint64) (uint8, bool) {
+	if i := c.find(block); i >= 0 {
+		f := c.flags[i]
+		c.tags[i] = 0
+		c.flags[i] = 0
+		return f, true
+	}
+	return 0, false
+}
+
+// Lines returns capacity in 64B lines.
+func (c *Cache) Lines() int { return c.sets * c.ways }

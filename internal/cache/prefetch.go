@@ -1,0 +1,79 @@
+package cache
+
+// StridePrefetcher is the paper's per-core stride prefetcher (Table III):
+// it watches the miss stream, detects a repeated block-stride, and suggests
+// up to Degree blocks ahead. There is no PC in a trace-driven model, so
+// detection is over the per-core miss stream, a common simplification.
+type StridePrefetcher struct {
+	Degree int
+
+	last   uint64
+	stride int64
+	streak int
+}
+
+// NewStride returns a stride prefetcher with the given degree.
+func NewStride(degree int) *StridePrefetcher {
+	return &StridePrefetcher{Degree: degree}
+}
+
+// Observe feeds a demand-miss block address and returns the blocks to
+// prefetch (possibly none).
+func (p *StridePrefetcher) Observe(block uint64) []uint64 {
+	d := int64(block) - int64(p.last)
+	if d == p.stride && d != 0 {
+		p.streak++
+	} else {
+		p.stride = d
+		p.streak = 0
+	}
+	p.last = block
+	if p.streak < 2 || p.stride == 0 {
+		return nil
+	}
+	out := make([]uint64, 0, p.Degree)
+	next := int64(block)
+	for i := 0; i < p.Degree; i++ {
+		next += p.stride
+		if next <= 0 {
+			break
+		}
+		out = append(out, uint64(next))
+	}
+	return out
+}
+
+// NextLine returns the next-line prefetch candidate for a missing block.
+// The paper's next-line prefetcher has "automatic turn-off"; the caller
+// gates it with its own accuracy counter.
+func NextLine(block uint64) uint64 { return block + 1 }
+
+// Throttle is the automatic turn-off: a saturating accuracy counter that
+// disables a prefetcher while its useful-fraction is low.
+type Throttle struct {
+	issued uint64
+	useful uint64
+	window uint64
+	on     bool
+}
+
+// NewThrottle starts enabled, re-evaluating every window issues.
+func NewThrottle(window uint64) *Throttle {
+	return &Throttle{window: window, on: true}
+}
+
+// Enabled reports whether the prefetcher may issue.
+func (t *Throttle) Enabled() bool { return t.on }
+
+// Issued records a prefetch; Useful records that a prefetched line got a
+// demand hit.
+func (t *Throttle) Issued() {
+	t.issued++
+	if t.issued >= t.window {
+		t.on = t.useful*4 >= t.issued // stay on above 25% accuracy
+		t.issued, t.useful = 0, 0
+	}
+}
+
+// Useful credits the prefetcher.
+func (t *Throttle) Useful() { t.useful++ }

@@ -1,0 +1,56 @@
+package config
+
+import "testing"
+
+func TestDefaultMatchesTableIII(t *testing.T) {
+	s := Default()
+	if s.CPU.Cores != 4 || s.CPU.FreqGHz != 2.8 || s.CPU.TLBEntries != 2048 {
+		t.Errorf("CPU defaults wrong: %+v", s.CPU)
+	}
+	if s.Cache.L1Cycles != 3 || s.Cache.L2Cycles != 11 || s.Cache.L3Cycles != 50 {
+		t.Errorf("cache latencies wrong: %+v", s.Cache)
+	}
+	if s.Cache.L3SizeMB != 8 || s.Cache.L2SizeKB != 256 {
+		t.Errorf("cache sizes wrong: %+v", s.Cache)
+	}
+	if s.DRAM.TCL != 13750*Picosecond || s.DRAM.NoCLatency != 18*Nanosecond {
+		t.Errorf("DRAM timing wrong: %+v", s.DRAM)
+	}
+	if s.Comp.CTE.SizeKB != 64 || s.Comp.CTE.ReachPerBlock != 32*KiB {
+		t.Errorf("TMCC CTE$ wrong: %+v", s.Comp.CTE)
+	}
+	if s.Comp.RecencySampleRate != 0.01 || s.Comp.CTEBufEntries != 64 {
+		t.Errorf("TMCC knobs wrong: %+v", s.Comp)
+	}
+}
+
+func TestCycleDuration(t *testing.T) {
+	c := CPU{FreqGHz: 2.8}
+	if got := c.Cycle(); got != 357 {
+		t.Errorf("2.8 GHz cycle = %d ps, want 357", got)
+	}
+	c.FreqGHz = 2.5
+	if got := c.Cycle(); got != 400 {
+		t.Errorf("2.5 GHz cycle = %d ps, want 400", got)
+	}
+}
+
+func TestCTEConfigs(t *testing.T) {
+	cp := CompressoCTE()
+	if cp.SizeKB != 128 || cp.ReachPerBlock != 4*KiB {
+		t.Errorf("Compresso CTE$ = %+v, want Table III's 128KB/4KB-reach", cp)
+	}
+	pr := ProblemCTE()
+	if pr.SizeKB != 64 || pr.ReachPerBlock != 4*KiB {
+		t.Errorf("problem CTE$ = %+v, want Section III's 64KB/4KB-reach", pr)
+	}
+}
+
+func TestGranularities(t *testing.T) {
+	if PTEsPerPTB != 8 || BlocksPage != 64 || PTEsPerPage != 512 {
+		t.Error("derived granularities wrong")
+	}
+	if Microsecond != 1000*Nanosecond || Millisecond != 1000*Microsecond {
+		t.Error("time units wrong")
+	}
+}

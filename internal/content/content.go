@@ -1,0 +1,180 @@
+// Package content synthesizes 4KB memory-page contents with controlled
+// compressibility. The paper measures compression on gcore memory dumps of
+// real benchmarks (all-zero pages removed); we cannot ship those, so each
+// benchmark gets a deterministic generator mixing data archetypes (integer
+// arrays, pointer arrays, floats, text, graph CSR structure, random bytes)
+// with weights calibrated so that page-level Deflate and 64B-block
+// compression land near the paper's reported per-benchmark ratios (Figure
+// 15, Table IV columns D/E). DESIGN.md documents this substitution.
+package content
+
+import (
+	"encoding/binary"
+	"math/rand"
+)
+
+// PageSize is the generated unit.
+const PageSize = 4096
+
+// Archetype identifies one kind of synthetic page.
+type Archetype int
+
+// The archetypes. Their block/page compressibility differs in the ways the
+// underlying data structures do in real programs.
+const (
+	Zero            Archetype = iota // untouched/deduplicable page (excluded from dumps)
+	SparseZero                       // mostly zero, few live bytes: huge ratios both ways
+	SmallInts                        // dense arrays of small integers: good for both
+	StridedInts                      // counters/indices with regular stride: BDI-friendly
+	Pointers                         // pointer arrays with shared high bits
+	Floats                           // noisy mantissas: poor block-level, mediocre Deflate
+	Text                             // strings/logs: Deflate-friendly, block-hostile
+	CSR                              // sorted adjacency lists with small deltas
+	HalfDirty                        // half structured / half random (aged heap)
+	Random                           // incompressible
+	RepeatedStructs                  // heap objects stamped from one template: LZ-friendly, 64B-block-hostile
+	nArchetypes
+)
+
+var archetypeNames = [...]string{
+	"zero", "sparsezero", "smallints", "stridedints", "pointers",
+	"floats", "text", "csr", "halfdirty", "random", "repstructs",
+}
+
+// String names the archetype.
+func (a Archetype) String() string { return archetypeNames[a] }
+
+// Generator produces deterministic pages for one mix.
+type Generator struct {
+	mix [nArchetypes]float64 // cumulative weights
+	rng *rand.Rand
+}
+
+// Mix is a weighting over archetypes; it does not need to be normalized.
+type Mix map[Archetype]float64
+
+// NewGenerator returns a Generator drawing archetypes from mix with the
+// given seed.
+func NewGenerator(mix Mix, seed int64) *Generator {
+	g := &Generator{rng: rand.New(rand.NewSource(seed))}
+	var total float64
+	for a := Archetype(0); a < nArchetypes; a++ {
+		total += mix[a]
+		g.mix[a] = total
+	}
+	if total == 0 {
+		panic("content: empty mix")
+	}
+	for a := range g.mix {
+		g.mix[a] /= total
+	}
+	return g
+}
+
+// Page generates the next page.
+func (g *Generator) Page() []byte {
+	r := g.rng.Float64()
+	for a := Archetype(0); a < nArchetypes; a++ {
+		if r < g.mix[a] {
+			return GeneratePage(a, g.rng)
+		}
+	}
+	return GeneratePage(Random, g.rng)
+}
+
+// GeneratePage builds one page of the given archetype from rng.
+func GeneratePage(a Archetype, rng *rand.Rand) []byte {
+	p := make([]byte, PageSize)
+	switch a {
+	case Zero:
+		// all zero
+	case SparseZero:
+		n := 4 + rng.Intn(60)
+		for i := 0; i < n; i++ {
+			p[rng.Intn(PageSize)] = byte(1 + rng.Intn(255))
+		}
+	case SmallInts:
+		// 64-bit values drawn from a small range, e.g. counts or ids.
+		bound := int64(1) << uint(4+rng.Intn(12))
+		for i := 0; i < PageSize; i += 8 {
+			binary.LittleEndian.PutUint64(p[i:], uint64(rng.Int63n(bound)))
+		}
+	case StridedInts:
+		v := uint64(rng.Intn(1 << 20))
+		stride := uint64(1 + rng.Intn(16))
+		for i := 0; i < PageSize; i += 8 {
+			binary.LittleEndian.PutUint64(p[i:], v)
+			v += stride
+		}
+	case Pointers:
+		base := uint64(0x7f00_0000_0000) | uint64(rng.Intn(1<<16))<<24
+		for i := 0; i < PageSize; i += 8 {
+			if rng.Intn(16) == 0 {
+				// occasional nil
+				continue
+			}
+			binary.LittleEndian.PutUint64(p[i:], base+uint64(rng.Intn(1<<22))*8)
+		}
+	case Floats:
+		for i := 0; i < PageSize; i += 8 {
+			// Doubles near 1.0: shared exponent bytes, noisy mantissa.
+			mant := uint64(rng.Int63()) & ((1 << 36) - 1)
+			binary.LittleEndian.PutUint64(p[i:], 0x3ff0_0000_0000_0000|mant)
+		}
+	case Text:
+		fillText(p, rng)
+	case CSR:
+		// Sorted neighbor ids as uint32 with geometric-ish gaps.
+		v := uint32(rng.Intn(1 << 16))
+		for i := 0; i < PageSize; i += 4 {
+			binary.LittleEndian.PutUint32(p[i:], v)
+			v += uint32(1 + rng.Intn(64))
+		}
+	case HalfDirty:
+		sub := GeneratePage(Archetype(1+rng.Intn(3)), rng)
+		copy(p, sub[:PageSize/2])
+		rng.Read(p[PageSize/2:])
+	case Random:
+		rng.Read(p)
+	case RepeatedStructs:
+		// One randomly-filled object template stamped across the page with
+		// a few mutated fields per instance: every 64B block individually
+		// looks random (block compressors fail), while LZ sees the page's
+		// self-similarity (its window spans many objects).
+		size := 72 + 8*rng.Intn(12) // 72..160 bytes, deliberately not 64-aligned
+		tpl := make([]byte, size)
+		rng.Read(tpl)
+		for i := 0; i < PageSize; i += size {
+			n := copy(p[i:], tpl)
+			// Mutate one or two fields (ids, pointers) per instance.
+			for f := 0; f < 1+rng.Intn(2); f++ {
+				off := rng.Intn(size)
+				if off < n {
+					p[i+off] = byte(rng.Intn(256))
+				}
+			}
+		}
+	}
+	return p
+}
+
+// words is a tiny vocabulary; real program text (symbol names, logs, HTML)
+// is highly repetitive, which is what LZ exploits.
+var words = []string{
+	"the", "of", "request", "error", "value", "node", "index", "user",
+	"http", "handler", "buffer", "alloc", "page", "table", "memory",
+	"compress", "translation", "entry", "cache", "miss", "walk", "data",
+}
+
+func fillText(p []byte, rng *rand.Rand) {
+	i := 0
+	for i < len(p) {
+		w := words[rng.Intn(len(words))]
+		n := copy(p[i:], w)
+		i += n
+		if i < len(p) {
+			p[i] = ' '
+			i++
+		}
+	}
+}

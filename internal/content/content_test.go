@@ -1,0 +1,105 @@
+package content
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeneratePageDeterministic(t *testing.T) {
+	for a := Archetype(0); a < nArchetypes; a++ {
+		p1 := GeneratePage(a, rand.New(rand.NewSource(1)))
+		p2 := GeneratePage(a, rand.New(rand.NewSource(1)))
+		if len(p1) != PageSize || len(p2) != PageSize {
+			t.Fatalf("%v: wrong page size", a)
+		}
+		for i := range p1 {
+			if p1[i] != p2[i] {
+				t.Fatalf("%v: not deterministic at byte %d", a, i)
+			}
+		}
+	}
+}
+
+func TestZeroPageIsZero(t *testing.T) {
+	p := GeneratePage(Zero, rand.New(rand.NewSource(3)))
+	for i, b := range p {
+		if b != 0 {
+			t.Fatalf("zero page has nonzero byte at %d", i)
+		}
+	}
+}
+
+func TestGeneratorMixCoverage(t *testing.T) {
+	g := NewGenerator(Mix{SmallInts: 1, Random: 1}, 7)
+	for i := 0; i < 50; i++ {
+		if len(g.Page()) != PageSize {
+			t.Fatal("bad page size")
+		}
+	}
+}
+
+func TestGeneratorEmptyMixPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty mix did not panic")
+		}
+	}()
+	NewGenerator(Mix{}, 1)
+}
+
+func TestProfilesComplete(t *testing.T) {
+	// Every performance benchmark the paper evaluates must have a profile.
+	names := []string{
+		"pageRank", "graphCol", "connComp", "degCentr", "shortestPath",
+		"bfs", "dfs", "kcore", "triCount", "mcf", "omnetpp", "canneal",
+	}
+	for _, n := range names {
+		p, ok := ProfileFor(n)
+		if !ok {
+			t.Errorf("missing profile %q", n)
+			continue
+		}
+		if p.WantDeflateRatio <= 1 || p.WantBlockRatio < 1 {
+			t.Errorf("%s: implausible targets %+v", n, p)
+		}
+		if p.ZeroFraction < 0 || p.ZeroFraction > 0.5 {
+			t.Errorf("%s: zero fraction %f out of range", n, p.ZeroFraction)
+		}
+	}
+	if _, ok := ProfileFor("nope"); ok {
+		t.Error("unknown profile resolved")
+	}
+}
+
+// Property: any archetype value produces a full page without panicking.
+func TestQuickAnyArchetype(t *testing.T) {
+	f := func(kind uint8, seed int64) bool {
+		a := Archetype(int(kind) % int(nArchetypes))
+		p := GeneratePage(a, rand.New(rand.NewSource(seed)))
+		return len(p) == PageSize
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRepeatedStructsBlockHostile(t *testing.T) {
+	// Each 64B block of a RepeatedStructs page should look random in
+	// isolation: high byte diversity within most blocks.
+	rng := rand.New(rand.NewSource(9))
+	p := GeneratePage(RepeatedStructs, rng)
+	diverse := 0
+	for b := 0; b < PageSize; b += 64 {
+		seen := map[byte]bool{}
+		for _, v := range p[b : b+64] {
+			seen[v] = true
+		}
+		if len(seen) > 40 {
+			diverse++
+		}
+	}
+	if diverse < 48 { // 3/4 of the 64 blocks
+		t.Errorf("only %d/64 blocks look high-entropy", diverse)
+	}
+}

@@ -1,0 +1,62 @@
+// Package cte defines the Compression Translation Entry, the
+// hardware-managed physical-to-DRAM translation record that every
+// memory-compression-for-capacity design keeps (Section II). Under TMCC a
+// CTE is page-level and 8 bytes (Figure 13); under Compresso a 64B metadata
+// block holds per-64B-block fields for one 4KB page.
+package cte
+
+// Entry is TMCC's 8-byte page-level CTE (Figure 13): the DRAM location of
+// one 4KB page worth of content, an isIncompressible bit (Section IV-B),
+// and a 32-bit vector tracking which pairs of adjacent blocks in the page
+// currently use the compressed-PTB encoding (Section V-A4).
+type Entry struct {
+	// DRAMPage is the page-aligned DRAM frame number the content lives in
+	// (for ML1 pages) or the sub-chunk base in 64B units (for ML2 pages).
+	DRAMPage uint32
+	// InML2 marks the page as stored compressed in ML2.
+	InML2 bool
+	// IsIncompressible records that a prior eviction attempt failed so ML1
+	// does not uselessly compress the page again.
+	IsIncompressible bool
+	// PTBPairs bit i says blocks 2i and 2i+1 of the page are stored in the
+	// compressed-PTB encoding.
+	PTBPairs uint32
+}
+
+// Pack serializes the entry into its 8-byte hardware layout:
+// bits 0..29 DRAM page/sub-chunk, bit 30 inML2, bit 31 isIncompressible,
+// bits 32..63 the PTB pair vector.
+func (e Entry) Pack() uint64 {
+	v := uint64(e.DRAMPage) & 0x3fffffff
+	if e.InML2 {
+		v |= 1 << 30
+	}
+	if e.IsIncompressible {
+		v |= 1 << 31
+	}
+	v |= uint64(e.PTBPairs) << 32
+	return v
+}
+
+// Unpack inverts Pack.
+func Unpack(v uint64) Entry {
+	return Entry{
+		DRAMPage:         uint32(v & 0x3fffffff),
+		InML2:            v&(1<<30) != 0,
+		IsIncompressible: v&(1<<31) != 0,
+		PTBPairs:         uint32(v >> 32),
+	}
+}
+
+// Truncated returns the truncated CTE embedded into compressed PTBs: just
+// enough bits to identify a 4KB range within one MC's DRAM (Section V-A5).
+func (e Entry) Truncated(bits int) uint32 {
+	return e.DRAMPage & uint32((uint64(1)<<uint(bits))-1)
+}
+
+// MatchesTruncated reports whether an embedded truncated CTE agrees with
+// this (authoritative) entry. The MC uses this to verify its speculative
+// parallel DRAM access (Section V-A3).
+func (e Entry) MatchesTruncated(tr uint32, bits int) bool {
+	return e.Truncated(bits) == tr&uint32((uint64(1)<<uint(bits))-1)
+}

@@ -1,0 +1,47 @@
+package cte
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPackLayout(t *testing.T) {
+	e := Entry{DRAMPage: 0x2FFFFFFF, InML2: true, IsIncompressible: true, PTBPairs: 0xDEADBEEF}
+	v := e.Pack()
+	if v&0x3fffffff != 0x2FFFFFFF {
+		t.Errorf("DRAM page bits wrong: %#x", v)
+	}
+	if v&(1<<30) == 0 || v&(1<<31) == 0 {
+		t.Errorf("flag bits wrong: %#x", v)
+	}
+	if uint32(v>>32) != 0xDEADBEEF {
+		t.Errorf("pair vector wrong: %#x", v)
+	}
+}
+
+func TestQuickPackUnpack(t *testing.T) {
+	f := func(page uint32, ml2, inc bool, pairs uint32) bool {
+		e := Entry{DRAMPage: page & 0x3fffffff, InML2: ml2, IsIncompressible: inc, PTBPairs: pairs}
+		return Unpack(e.Pack()) == e
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTruncation(t *testing.T) {
+	e := Entry{DRAMPage: 0x1234ABCD & 0x3fffffff}
+	if got := e.Truncated(16); got != e.DRAMPage&0xffff {
+		t.Errorf("16-bit truncation = %#x", got)
+	}
+	if !e.MatchesTruncated(e.Truncated(28), 28) {
+		t.Error("self-match failed")
+	}
+	// Matching ignores bits above the truncation width.
+	if !e.MatchesTruncated(e.Truncated(16)|0xFFFF0000, 16) {
+		t.Error("high bits leaked into the match")
+	}
+	if e.MatchesTruncated(e.Truncated(28)^1, 28) {
+		t.Error("mismatch not detected")
+	}
+}

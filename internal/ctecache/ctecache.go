@@ -1,0 +1,138 @@
+// Package ctecache models the memory controller's CTE cache (Section II/III)
+// and TMCC's CTE Buffer (Section V-A3, Figure 10).
+//
+// The CTE cache holds 64B CTE blocks. Its reach per block depends on the
+// design: Compresso's block-level metadata needs a whole 64B block per 4KB
+// page (reach 4KB/block), while TMCC's 8B page-level CTEs pack eight pages
+// per block (reach 32KB/block) — the 8x reach difference is the core of
+// Section IV's argument.
+package ctecache
+
+import (
+	"tmcc/internal/cache"
+	"tmcc/internal/config"
+)
+
+// Cache is the MC-side CTE cache.
+type Cache struct {
+	c           *cache.Cache
+	pagesPerBlk uint64
+	cfg         config.CTECacheCfg
+}
+
+// New builds a CTE cache from its configuration.
+func New(cfg config.CTECacheCfg) *Cache {
+	ppb := uint64(cfg.ReachPerBlock / (4 * config.KiB))
+	if ppb == 0 {
+		ppb = 1
+	}
+	return &Cache{
+		c:           cache.New(cfg.SizeKB*config.KiB, cfg.Assoc),
+		pagesPerBlk: ppb,
+		cfg:         cfg,
+	}
+}
+
+// blockFor maps a physical page number to its CTE block id.
+func (c *Cache) blockFor(ppn uint64) uint64 { return ppn / c.pagesPerBlk }
+
+// Lookup probes the cache for the CTE covering ppn.
+func (c *Cache) Lookup(ppn uint64) bool { return c.c.Access(c.blockFor(ppn)) }
+
+// Fill caches the CTE block covering ppn after a DRAM fetch.
+func (c *Cache) Fill(ppn uint64) { c.c.Insert(c.blockFor(ppn), 0) }
+
+// Probe checks presence without recency/counter side effects.
+func (c *Cache) Probe(ppn uint64) bool { return c.c.Probe(c.blockFor(ppn)) }
+
+// Hits and Misses expose the counters.
+func (c *Cache) Hits() uint64   { return c.c.Hits }
+func (c *Cache) Misses() uint64 { return c.c.Misses }
+
+// HitRate is hits/(hits+misses).
+func (c *Cache) HitRate() float64 {
+	t := c.c.Hits + c.c.Misses
+	if t == 0 {
+		return 0
+	}
+	return float64(c.c.Hits) / float64(t)
+}
+
+// CTETableAddr returns the DRAM address of the 64B CTE block covering ppn,
+// given the base of the linear CTE table in DRAM (Section II: MC stores
+// CTEs in DRAM as a linear 1-level table).
+func (c *Cache) CTETableAddr(tableBase uint64, ppn uint64) uint64 {
+	return tableBase + c.blockFor(ppn)*64
+}
+
+// BufEntry is one CTE Buffer record (Figure 10): keyed by the PPN a PTE
+// maps to, carrying the truncated CTE embedded in the PTB (if any) and the
+// physical address of the PTB that held the PTE — needed for the lazy
+// write-back of corrected CTEs.
+type BufEntry struct {
+	PPN     uint64
+	CTE     uint32
+	HasCTE  bool
+	PTBAddr uint64
+}
+
+// Buffer is the 64-entry CTE Buffer in L2 (~1KB). FIFO replacement: the
+// hardware is a small circular structure.
+type Buffer struct {
+	entries []BufEntry
+	valid   []bool
+	byPPN   map[uint64]int
+	next    int
+}
+
+// NewBuffer returns a buffer with n entries (the paper uses 64).
+func NewBuffer(n int) *Buffer {
+	return &Buffer{
+		entries: make([]BufEntry, n),
+		valid:   make([]bool, n),
+		byPPN:   make(map[uint64]int, n),
+	}
+}
+
+// Insert records an entry, replacing any existing entry for the same PPN,
+// else the FIFO victim.
+func (b *Buffer) Insert(e BufEntry) {
+	if i, ok := b.byPPN[e.PPN]; ok {
+		b.entries[i] = e
+		return
+	}
+	i := b.next
+	b.next = (b.next + 1) % len(b.entries)
+	if b.valid[i] {
+		delete(b.byPPN, b.entries[i].PPN)
+	}
+	b.entries[i] = e
+	b.valid[i] = true
+	b.byPPN[e.PPN] = i
+}
+
+// Lookup fetches the entry for ppn.
+func (b *Buffer) Lookup(ppn uint64) (BufEntry, bool) {
+	if i, ok := b.byPPN[ppn]; ok {
+		return b.entries[i], true
+	}
+	return BufEntry{}, false
+}
+
+// Update stores the corrected CTE into an existing entry (on a response
+// from the MC); reports whether the entry was present and whether its CTE
+// differed (the PTB must then be rewritten).
+func (b *Buffer) Update(ppn uint64, correct uint32) (ptbAddr uint64, present, stale bool) {
+	i, ok := b.byPPN[ppn]
+	if !ok {
+		return 0, false, false
+	}
+	e := &b.entries[i]
+	stale = !e.HasCTE || e.CTE != correct
+	e.CTE = correct
+	e.HasCTE = true
+	return e.PTBAddr, true, stale
+}
+
+// Len reports valid entries.
+func (b *Buffer) Len() int { return len(b.byPPN) }

@@ -1,0 +1,122 @@
+package ctecache
+
+import (
+	"math/rand"
+	"testing"
+
+	"tmcc/internal/config"
+)
+
+func TestReachDifference(t *testing.T) {
+	// Page-level CTEs: 8 pages per 64B block; a fill for ppn covers its
+	// whole 8-page group. Block-level: only the one page.
+	page := New(config.CTECacheCfg{SizeKB: 64, ReachPerBlock: 32 * config.KiB, Assoc: 8})
+	blk := New(config.CTECacheCfg{SizeKB: 64, ReachPerBlock: 4 * config.KiB, Assoc: 8})
+	page.Fill(80)
+	blk.Fill(80)
+	if !page.Lookup(81) {
+		t.Error("page-level CTE did not cover the adjacent page")
+	}
+	if blk.Lookup(81) {
+		t.Error("block-level CTE unexpectedly covered the adjacent page")
+	}
+}
+
+func TestPageLevelHasHigherHitRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	page := New(config.CTECacheCfg{SizeKB: 64, ReachPerBlock: 32 * config.KiB, Assoc: 8})
+	blk := New(config.CTECacheCfg{SizeKB: 64, ReachPerBlock: 4 * config.KiB, Assoc: 8})
+	// A 16K-page working set with locality: page-level reach (8K pages per
+	// 64KB) should hit far more often than block-level (1K pages).
+	for i := 0; i < 200000; i++ {
+		ppn := uint64(rng.Intn(16384))
+		if !page.Lookup(ppn) {
+			page.Fill(ppn)
+		}
+		if !blk.Lookup(ppn) {
+			blk.Fill(ppn)
+		}
+	}
+	if page.HitRate() <= blk.HitRate() {
+		t.Errorf("page-level hit rate %.3f <= block-level %.3f", page.HitRate(), blk.HitRate())
+	}
+}
+
+func TestCTETableAddr(t *testing.T) {
+	c := New(config.CTECacheCfg{SizeKB: 64, ReachPerBlock: 32 * config.KiB, Assoc: 8})
+	base := uint64(1 << 30)
+	if a := c.CTETableAddr(base, 0); a != base {
+		t.Errorf("addr(0) = %#x", a)
+	}
+	if a := c.CTETableAddr(base, 7); a != base {
+		t.Errorf("ppn 7 shares block 0: %#x", a)
+	}
+	if a := c.CTETableAddr(base, 8); a != base+64 {
+		t.Errorf("ppn 8 -> next block: %#x", a)
+	}
+}
+
+func TestBufferInsertLookup(t *testing.T) {
+	b := NewBuffer(4)
+	b.Insert(BufEntry{PPN: 10, CTE: 111, HasCTE: true, PTBAddr: 0x40})
+	e, ok := b.Lookup(10)
+	if !ok || e.CTE != 111 || e.PTBAddr != 0x40 {
+		t.Fatalf("lookup = %+v %v", e, ok)
+	}
+	if _, ok = b.Lookup(11); ok {
+		t.Error("phantom hit")
+	}
+}
+
+func TestBufferFIFOEviction(t *testing.T) {
+	b := NewBuffer(2)
+	b.Insert(BufEntry{PPN: 1})
+	b.Insert(BufEntry{PPN: 2})
+	b.Insert(BufEntry{PPN: 3}) // evicts 1
+	if _, ok := b.Lookup(1); ok {
+		t.Error("FIFO did not evict oldest")
+	}
+	if _, ok := b.Lookup(2); !ok {
+		t.Error("entry 2 lost")
+	}
+	if b.Len() != 2 {
+		t.Errorf("len = %d", b.Len())
+	}
+}
+
+func TestBufferSamePPNReplaces(t *testing.T) {
+	b := NewBuffer(2)
+	b.Insert(BufEntry{PPN: 5, CTE: 1, HasCTE: true})
+	b.Insert(BufEntry{PPN: 5, CTE: 2, HasCTE: true})
+	if b.Len() != 1 {
+		t.Fatalf("len = %d", b.Len())
+	}
+	if e, _ := b.Lookup(5); e.CTE != 2 {
+		t.Errorf("CTE = %d, want 2", e.CTE)
+	}
+}
+
+func TestBufferUpdate(t *testing.T) {
+	b := NewBuffer(4)
+	b.Insert(BufEntry{PPN: 7, CTE: 100, HasCTE: true, PTBAddr: 0x1000})
+	// Matching correction: present, not stale.
+	if _, present, stale := b.Update(7, 100); !present || stale {
+		t.Errorf("matching update present=%v stale=%v", present, stale)
+	}
+	// Differing correction: stale, returns the PTB address for lazy fixup.
+	addr, present, stale := b.Update(7, 200)
+	if !present || !stale || addr != 0x1000 {
+		t.Errorf("stale update = %#x %v %v", addr, present, stale)
+	}
+	if e, _ := b.Lookup(7); e.CTE != 200 {
+		t.Error("update did not store corrected CTE")
+	}
+	// Entry without a CTE is stale by definition.
+	b.Insert(BufEntry{PPN: 8, PTBAddr: 0x2000})
+	if _, _, stale := b.Update(8, 5); !stale {
+		t.Error("no-CTE entry not reported stale")
+	}
+	if _, present, _ := b.Update(99, 1); present {
+		t.Error("absent PPN reported present")
+	}
+}

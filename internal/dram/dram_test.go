@@ -1,0 +1,165 @@
+package dram
+
+import (
+	"math/rand"
+	"testing"
+
+	"tmcc/internal/config"
+)
+
+func cfg() config.DRAM { return config.Default().DRAM }
+
+func TestSingleReadLatency(t *testing.T) {
+	c := New(cfg())
+	done := c.Read(0, 0x1000)
+	// A cold read: tRP+tRCD+tCL+tBL = 43.75 ns.
+	want := 3*13750 + 2500
+	if int(done) != want {
+		t.Errorf("cold read latency = %d ps, want %d", done, want)
+	}
+}
+
+func TestRowHitFaster(t *testing.T) {
+	c := New(cfg())
+	first := c.Read(0, 0x2000)
+	second := c.Read(first, 0x2040) - first // same row, next block
+	if second >= first {
+		t.Errorf("row hit %d ps not faster than miss %d ps", second, first)
+	}
+	if c.Stats.RowHits != 1 {
+		t.Errorf("row hits = %d, want 1", c.Stats.RowHits)
+	}
+}
+
+func TestRowAccessCapForcesMiss(t *testing.T) {
+	conf := cfg()
+	conf.RowAccessCap = 4
+	c := New(conf)
+	now := config.Time(0)
+	for i := 0; i < 6; i++ {
+		now = c.Read(now, uint64(0x4000+i*64))
+	}
+	// 6 same-row accesses: 1 miss, then hits; the cap inserts a
+	// re-arbitration bubble but keeps the row open (FR-FCFS-Capped limits
+	// prioritization, it does not precharge an uncontended row).
+	if c.Stats.RowMisses != 1 {
+		t.Errorf("row misses = %d, want 1", c.Stats.RowMisses)
+	}
+	if c.Stats.RowHits != 5 {
+		t.Errorf("row hits = %d, want 5", c.Stats.RowHits)
+	}
+}
+
+func TestBusSerializesBursts(t *testing.T) {
+	c := New(cfg())
+	// Two concurrent reads to different banks still share the data bus.
+	d1 := c.Read(0, 0x10000)
+	d2 := c.Read(0, 0x38000)
+	if d1 == d2 {
+		t.Error("two bursts completed at the same instant on one bus")
+	}
+}
+
+func TestQueueingUnderLoad(t *testing.T) {
+	c := New(cfg())
+	rng := rand.New(rand.NewSource(1))
+	// Saturate: issue 1000 reads at time 0; average latency must greatly
+	// exceed the unloaded latency.
+	var last config.Time
+	for i := 0; i < 1000; i++ {
+		last = c.Read(0, uint64(rng.Intn(1<<28))&^63)
+	}
+	if avg := c.AvgReadLatency(); avg < 100*config.Nanosecond {
+		t.Errorf("avg latency under saturation = %v ps, expected queueing", avg)
+	}
+	if last < 1000*config.Time(cfg().TBL) {
+		t.Errorf("1000 bursts finished too fast: %d ps", last)
+	}
+}
+
+func TestWriteModePenalty(t *testing.T) {
+	// Read-after-write to the same open row pays the rank turnaround that
+	// read-after-read does not.
+	c1 := New(cfg())
+	w := c1.Write(0, 0x5000)
+	raw := c1.Read(w, 0x5040) - w
+
+	c2 := New(cfg())
+	r := c2.Read(0, 0x5000)
+	rar := c2.Read(r, 0x5040) - r
+	if raw <= rar {
+		t.Errorf("read-after-write %d ps not slower than read-after-read %d ps", raw, rar)
+	}
+}
+
+func TestInterleavingSpreadsChannels(t *testing.T) {
+	conf := cfg()
+	conf.MCs = 2
+	conf.Channels = 2
+	conf.MCInterleaveBytes = 512
+	conf.ChannelInterleaveBytes = 256
+	c := New(conf)
+	seen := map[int]bool{}
+	for addr := uint64(0); addr < 4096; addr += 256 {
+		ch, _, _, _ := c.decode(addr)
+		seen[ch] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("only %d/4 channels used under sub-page interleave", len(seen))
+	}
+	// Page-granularity MC interleave: one 4KB page stays within one MC.
+	conf.MCInterleaveBytes = 4096
+	c2 := New(conf)
+	mcs := map[int]bool{}
+	for addr := uint64(0); addr < 4096; addr += 256 {
+		ch, _, _, _ := c2.decode(addr)
+		mcs[ch/conf.Channels] = true
+	}
+	if len(mcs) != 1 {
+		t.Errorf("4KB page crossed MCs under 4KB interleave")
+	}
+}
+
+func TestBandwidthAccounting(t *testing.T) {
+	c := New(cfg())
+	var now config.Time
+	for i := 0; i < 100; i++ {
+		now = c.Read(now, uint64(i*64))
+	}
+	u := c.BusUtilization(now)
+	if u <= 0 || u > 1 {
+		t.Errorf("utilization = %f out of range", u)
+	}
+	if c.PeakBandwidthGBs() < 25 || c.PeakBandwidthGBs() > 26 {
+		t.Errorf("peak bandwidth = %f, want 25.6", c.PeakBandwidthGBs())
+	}
+}
+
+func TestRefreshStallsAccess(t *testing.T) {
+	conf := cfg()
+	c := New(conf)
+	// Hit rank 0's second refresh window head-on: its refresh starts at
+	// phase + k*tREFI with phase = tRFC.
+	inWindow := conf.TRFC + conf.TREFI + conf.TRFC/2
+	// Find an address on rank 0.
+	var addr uint64
+	for a := uint64(0); ; a += 64 {
+		if _, rk, _, _ := c.decode(a); rk == 0 {
+			addr = a
+			break
+		}
+	}
+	done := c.Read(inWindow, addr)
+	if c.Stats.RefreshStalls != 1 {
+		t.Fatalf("refresh stalls = %d, want 1", c.Stats.RefreshStalls)
+	}
+	if done < conf.TRFC+conf.TREFI+conf.TRFC {
+		t.Errorf("read completed at %d, inside the refresh window", done)
+	}
+	// Outside any window: no stall.
+	c2 := New(conf)
+	c2.Read(conf.TRFC+conf.TREFI/2, addr)
+	if c2.Stats.RefreshStalls != 0 {
+		t.Errorf("unexpected refresh stall")
+	}
+}

@@ -1,0 +1,174 @@
+package exp
+
+import "testing"
+
+func quickCfg() Config { return Config{Seed: 42, Quick: true} }
+
+func lastRow(t *testing.T, tab *Table) RowT {
+	t.Helper()
+	if len(tab.Rows) == 0 {
+		t.Fatalf("%s: empty table", tab.ID)
+	}
+	return tab.Rows[len(tab.Rows)-1]
+}
+
+func TestTableHelpers(t *testing.T) {
+	tab := &Table{ID: "x", Title: "t", Header: []string{"n", "a", "b"}}
+	tab.Add("r1", 2, 8)
+	tab.Add("r2", 8, 2)
+	tab.Mean("mean")
+	m := lastRow(t, tab)
+	if m.Vals[0] != 5 || m.Vals[1] != 5 {
+		t.Errorf("mean = %v", m.Vals)
+	}
+	tab2 := &Table{ID: "y", Title: "t", Header: []string{"n", "a"}}
+	tab2.Add("r1", 2)
+	tab2.Add("r2", 8)
+	tab2.GeoMean("geo")
+	if g := lastRow(t, tab2).Vals[0]; g < 3.99 || g > 4.01 {
+		t.Errorf("geomean = %v", g)
+	}
+	if tab.String() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig1", "fig2", "fig5", "fig6", "fig15", "fig16", "fig17", "fig18",
+		"fig19", "fig20", "fig21", "fig22", "tab1", "tab2", "tab4",
+		"senssmall", "senshuge", "ablation-cam", "ablation-cte", "ablation-tree",
+	}
+	for _, id := range want {
+		if _, ok := Get(id); !ok {
+			t.Errorf("experiment %s missing", id)
+		}
+	}
+	if len(IDs()) < len(want) {
+		t.Errorf("IDs() = %d entries", len(IDs()))
+	}
+}
+
+// The deflate-side experiments are cheap enough to validate against the
+// paper's bands in every test run.
+func TestFig15ReproducesPaperBands(t *testing.T) {
+	tab, err := Fig15(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	geo := lastRow(t, tab)
+	block, ours, gzip := geo.Vals[0], geo.Vals[1], geo.Vals[3]
+	if block < 1.3 || block > 1.75 {
+		t.Errorf("block-level geomean %.2f, paper 1.51", block)
+	}
+	if ours < 3.0 || ours > 3.9 {
+		t.Errorf("our-deflate geomean %.2f, paper 3.4", ours)
+	}
+	if gzip < ours*0.95 {
+		t.Errorf("gzip %.2f clearly below ours %.2f", gzip, ours)
+	}
+}
+
+func TestTab2ReproducesSpeedup(t *testing.T) {
+	tab, err := Tab2(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]RowT{}
+	for _, r := range tab.Rows {
+		byName[r.Name] = r
+	}
+	ourDec := byName["our-decompressor"].Vals[0]
+	ibmDec := byName["ibm-decompressor"].Vals[0]
+	if ibmDec/ourDec < 2.5 {
+		t.Errorf("decompress speedup %.1fx, paper ~4x", ibmDec/ourDec)
+	}
+	ourHalf := byName["our-decompressor"].Vals[1]
+	ibmHalf := byName["ibm-decompressor"].Vals[1]
+	if ibmHalf/ourHalf < 4 {
+		t.Errorf("half-page speedup %.1fx, paper ~6x", ibmHalf/ourHalf)
+	}
+	if thr := byName["our-decompressor"].Vals[2]; thr < 10 {
+		t.Errorf("our decompress throughput %.1f GB/s, paper 14.8", thr)
+	}
+}
+
+func TestFig6ReproducesHomogeneity(t *testing.T) {
+	tab, err := Fig6(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := lastRow(t, tab)
+	if avg.Vals[0] < 0.995 {
+		t.Errorf("L1 homogeneity %.4f, paper 0.9994", avg.Vals[0])
+	}
+	if avg.Vals[1] < 0.95 {
+		t.Errorf("L2 homogeneity %.4f, paper 0.993", avg.Vals[1])
+	}
+}
+
+func TestAblationCAMOrdering(t *testing.T) {
+	tab, err := AblationCAM(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ratio must improve from 256B to 1KB (the paper's small-CAM cliff).
+	// Beyond 1KB the fixed 2-byte token trades match-length bits for
+	// offset bits, so gains flatten or even reverse slightly.
+	vals := map[string]float64{}
+	for _, r := range tab.Rows {
+		vals[r.Name] = r.Vals[0]
+	}
+	if vals["256"] > vals["1KB"]*0.995 {
+		t.Errorf("no small-CAM degradation: 256B %.3f vs 1KB %.3f", vals["256"], vals["1KB"])
+	}
+	if vals["1KB"] < vals["4KB"]*0.93 {
+		t.Errorf("1KB CAM keeps only %.3f of 4KB ratio, paper ~0.984", vals["1KB"]/vals["4KB"])
+	}
+}
+
+// One end-to-end performance figure in quick mode: the headline must hold.
+func TestFig17HeadlineHolds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	tab, err := Fig17(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	geo := lastRow(t, tab).Vals[0]
+	if geo < 1.05 || geo > 1.30 {
+		t.Errorf("TMCC/Compresso geomean %.3f, paper 1.14", geo)
+	}
+	// Per-benchmark shape: shortestPath and canneal must be among the
+	// biggest winners, kcore and triCount the smallest.
+	vals := map[string]float64{}
+	for _, r := range tab.Rows {
+		vals[r.Name] = r.Vals[0]
+	}
+	if vals["canneal"] < vals["kcore"] || vals["shortestPath"] < vals["triCount"] {
+		t.Errorf("per-benchmark ordering broken: %v", vals)
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	tab := &Table{ID: "x", Title: "demo", Header: []string{"n", "a"}, Notes: []string{"note"}}
+	tab.Add("row", 1.5)
+	md := tab.Markdown()
+	if !contains(md, "| row | 1.5 |") || !contains(md, "### x: demo") {
+		t.Errorf("markdown malformed:\n%s", md)
+	}
+	csv := tab.CSV()
+	if csv != "n,a\nrow,1.5\n" {
+		t.Errorf("csv malformed: %q", csv)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

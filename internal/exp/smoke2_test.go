@@ -1,0 +1,36 @@
+package exp
+
+import "testing"
+
+func TestQuickSmokePerfExps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	for _, id := range []string{"fig17", "tab4"} {
+		r, _ := Get(id)
+		tab, err := r(Config{Seed: 42, Quick: true})
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		t.Log("\n" + tab.String())
+	}
+}
+
+func TestQuickSweepsAndExtensions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	for _, id := range []string{"ablation-ctebuf", "ablation-recency", "ext-2dwalk"} {
+		r, ok := Get(id)
+		if !ok {
+			t.Fatalf("missing %s", id)
+		}
+		tab, err := r(Config{Seed: 42, Quick: true})
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tab.Rows) == 0 {
+			t.Fatalf("%s: empty", id)
+		}
+	}
+}

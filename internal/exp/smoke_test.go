@@ -1,0 +1,17 @@
+package exp
+
+import "testing"
+
+func TestQuickSmokeExps(t *testing.T) {
+	for _, id := range []string{"fig6", "tab1", "tab2", "fig15"} {
+		r, ok := Get(id)
+		if !ok {
+			t.Fatalf("missing %s", id)
+		}
+		tab, err := r(Config{Seed: 42, Quick: true})
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		t.Log("\n" + tab.String())
+	}
+}

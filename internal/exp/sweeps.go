@@ -1,0 +1,117 @@
+package exp
+
+import (
+	"fmt"
+
+	"tmcc/internal/config"
+	"tmcc/internal/mc"
+	"tmcc/internal/sim"
+)
+
+func init() {
+	register("ablation-ctebuf", AblationCTEBuf)
+	register("ablation-recency", AblationRecency)
+	register("ablation-tlb", AblationTLB)
+}
+
+// sweepBenches is a small representative set for parameter sweeps: the two
+// most translation-bound workloads plus one moderate one.
+func sweepBenches(cfg Config) []string {
+	if cfg.Quick {
+		return []string{"canneal"}
+	}
+	return []string{"shortestPath", "canneal", "pageRank"}
+}
+
+// AblationCTEBuf sweeps the CTE Buffer size (the paper fixes 64 entries,
+// ~1KB): too small and embedded CTEs are evicted between the walk and the
+// data access, falling back to serialized translation.
+func AblationCTEBuf(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "ablation-ctebuf",
+		Title:  "TMCC parallel-access fraction vs CTE Buffer entries",
+		Header: []string{"entries", "parallel-frac", "serial-frac", "spc"},
+		Notes:  []string{"paper picks 64 entries (~1KB); the curve saturates near there"},
+	}
+	for _, entries := range []int{8, 16, 32, 64, 128} {
+		sys := config.Default()
+		sys.Comp.CTEBufEntries = entries
+		var par, ser, spc float64
+		n := 0
+		for _, b := range sweepBenches(cfg) {
+			m, err := runOne(cfg, b, sim.Options{Kind: mc.TMCC, Sys: sys})
+			if err != nil {
+				return nil, err
+			}
+			miss := float64(m.MC.CTEHits + m.MC.CTEMisses)
+			par += float64(m.MC.ParallelOK+m.MC.ParallelWrong) / miss
+			ser += float64(m.MC.SerialNoEmbed) / miss
+			spc += m.StoresPerCycle()
+			n++
+		}
+		t.Add(fmt.Sprintf("%d", entries), par/float64(n), ser/float64(n), spc/float64(n))
+	}
+	return t, nil
+}
+
+// AblationRecency sweeps the Recency List sampling rate (the paper uses 1%
+// of ML1 accesses): sampling too rarely lets hot pages drift to the cold
+// end and get evicted to ML2.
+func AblationRecency(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "ablation-recency",
+		Title:  "ML2 demand rate vs Recency List sampling rate",
+		Header: []string{"sample-rate", "ml2-per-miss", "spc"},
+		Notes:  []string{"paper samples 1% of ML1 accesses"},
+	}
+	for _, rate := range []float64{0.001, 0.01, 0.05, 0.2} {
+		sys := config.Default()
+		sys.Comp.RecencySampleRate = rate
+		var ml2, spc float64
+		n := 0
+		for _, b := range sweepBenches(cfg) {
+			m, err := runOne(cfg, b, sim.Options{Kind: mc.TMCC, Sys: sys})
+			if err != nil {
+				return nil, err
+			}
+			ml2 += float64(m.MC.ML2Reads) / float64(m.LLCMisses+1)
+			spc += m.StoresPerCycle()
+			n++
+		}
+		t.Add(fmt.Sprintf("%.3f", rate), ml2/float64(n), spc/float64(n))
+	}
+	return t, nil
+}
+
+// AblationTLB sweeps the TLB size: the smaller the TLB, the more page walks
+// and therefore the more CTE misses TMCC can parallelize — the paper's
+// Section VI note about matching Zen 3's reach works the other way too.
+func AblationTLB(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "ablation-tlb",
+		Title:  "TMCC benefit vs TLB entries",
+		Header: []string{"tlb-entries", "tlb-miss/llc", "tmcc/compresso"},
+		Notes:  []string{"smaller TLBs raise walk rates and widen TMCC's advantage"},
+	}
+	for _, entries := range []int{512, 1024, 2048, 4096} {
+		sys := config.Default()
+		sys.CPU.TLBEntries = entries
+		var missRatio, ratio float64
+		n := 0
+		for _, b := range sweepBenches(cfg) {
+			cp, err := runOne(cfg, b, sim.Options{Kind: mc.Compresso, Sys: sys})
+			if err != nil {
+				return nil, err
+			}
+			tm, err := runOne(cfg, b, sim.Options{Kind: mc.TMCC, Sys: sys})
+			if err != nil {
+				return nil, err
+			}
+			missRatio += float64(cp.TLBMisses) / float64(cp.LLCMisses)
+			ratio += tm.StoresPerCycle() / cp.StoresPerCycle()
+			n++
+		}
+		t.Add(fmt.Sprintf("%d", entries), missRatio/float64(n), ratio/float64(n))
+	}
+	return t, nil
+}

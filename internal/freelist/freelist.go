@@ -1,0 +1,262 @@
+// Package freelist implements the two-level free-space tracking of Section
+// IV-B (Figure 3): an ML1 Free List of 4KB chunks (the hardware stores the
+// linked-list pointers inside the free chunks themselves, so it costs no
+// dedicated DRAM), and per-size-class ML2 Free Lists whose equally-sized
+// sub-chunks are carved fragmentation-free out of super-chunks — groups of
+// M interlinked 4KB chunks evenly divided into N sub-chunks, with M and N
+// chosen to minimize (4KB*M) mod N.
+package freelist
+
+import "fmt"
+
+// ChunkSize is the ML1 chunk granularity (one page).
+const ChunkSize = 4096
+
+// ML1 tracks free 4KB DRAM chunks as a LIFO (the paper pushes freed chunks
+// to the top and pops from the top).
+type ML1 struct {
+	free []uint32 // chunk numbers
+}
+
+// NewML1 starts with the given chunks free, in order.
+func NewML1(chunks []uint32) *ML1 {
+	f := &ML1{free: make([]uint32, len(chunks))}
+	copy(f.free, chunks)
+	return f
+}
+
+// Len reports how many chunks are free.
+func (f *ML1) Len() int { return len(f.free) }
+
+// Pop takes a chunk from the top; ok=false when empty.
+func (f *ML1) Pop() (uint32, bool) {
+	if len(f.free) == 0 {
+		return 0, false
+	}
+	c := f.free[len(f.free)-1]
+	f.free = f.free[:len(f.free)-1]
+	return c, true
+}
+
+// Push returns a chunk to the top.
+func (f *ML1) Push(c uint32) { f.free = append(f.free, c) }
+
+// SizeClass is one ML2 sub-chunk size with its super-chunk geometry.
+type SizeClass struct {
+	SubSize int // bytes per sub-chunk
+	M       int // 4KB chunks per super-chunk
+	N       int // sub-chunks per super-chunk
+}
+
+// Waste returns the bytes lost per super-chunk: (4096*M) mod N scaled to
+// bytes — with SubSize = floor(4096*M/N) the leftover is 4096*M - N*SubSize.
+func (c SizeClass) Waste() int { return ChunkSize*c.M - c.N*c.SubSize }
+
+// DefaultClasses builds the zsmalloc-like class menu the paper's ML2 needs:
+// one class roughly every 256 bytes from 256B to 3.5KB. For each target
+// size we search M in 1..8 (larger classes need bigger super-chunks for
+// N > M to hold) and pick the (M, N) whose sub-chunk size is closest at
+// minimal waste.
+func DefaultClasses() []SizeClass {
+	var out []SizeClass
+	for target := 256; target <= 3584; target += 256 {
+		best := SizeClass{}
+		bestWaste := -1
+		for m := 1; m <= 8; m++ {
+			n := ChunkSize * m / target
+			if n <= m || n == 0 {
+				continue
+			}
+			c := SizeClass{SubSize: ChunkSize * m / n, M: m, N: n}
+			if c.SubSize < target {
+				// Sub-chunk must hold a compressed page of `target` bytes.
+				n--
+				if n <= m || n == 0 {
+					continue
+				}
+				c = SizeClass{SubSize: ChunkSize * m / n, M: m, N: n}
+			}
+			if w := c.Waste(); bestWaste < 0 || w < bestWaste || (w == bestWaste && c.SubSize < best.SubSize) {
+				best, bestWaste = c, w
+			}
+		}
+		if bestWaste >= 0 {
+			out = append(out, best)
+		}
+	}
+	return out
+}
+
+// SubChunk identifies one allocation: its size class, super-chunk id, and
+// slot.
+type SubChunk struct {
+	Class int
+	Super int
+	Slot  int
+}
+
+// superChunk is the bookkeeping for one carved group of chunks.
+type superChunk struct {
+	chunks   []uint32
+	freeSlot []int // LIFO of free slots
+	used     int
+}
+
+// ML2 manages the per-class free lists. It draws whole 4KB chunks from ML1
+// to carve new super-chunks and returns fully-empty super-chunks' chunks to
+// ML1 (Section IV-B).
+type ML2 struct {
+	classes []SizeClass
+	ml1     *ML1
+	supers  [][]*superChunk // per class
+	// partial[class] lists super-chunk indexes with free slots; LIFO so
+	// recently-freed-into supers fill first (paper: allocate from the top,
+	// push newly-partial supers to the top).
+	partial [][]int
+
+	// UsedBytes tracks live compressed bytes for capacity accounting.
+	UsedBytes int64
+	// HeldChunks counts 4KB chunks currently owned by ML2.
+	HeldChunks int
+}
+
+// NewML2 builds an ML2 over the given ML1 pool.
+func NewML2(classes []SizeClass, ml1 *ML1) *ML2 {
+	if len(classes) == 0 {
+		classes = DefaultClasses()
+	}
+	return &ML2{
+		classes: classes,
+		ml1:     ml1,
+		supers:  make([][]*superChunk, len(classes)),
+		partial: make([][]int, len(classes)),
+	}
+}
+
+// ClassFor returns the smallest class whose sub-chunks hold size bytes;
+// ok=false when size exceeds the largest class (the page should stay
+// uncompressed / in ML1).
+func (m *ML2) ClassFor(size int) (int, bool) {
+	for i, c := range m.classes {
+		if c.SubSize >= size {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Classes exposes the class table.
+func (m *ML2) Classes() []SizeClass { return m.classes }
+
+// Alloc places a compressed page of size bytes, growing the class's list
+// from ML1 if needed. ok=false when size doesn't fit any class or ML1 has
+// no chunks to donate.
+func (m *ML2) Alloc(size int) (SubChunk, bool) {
+	ci, ok := m.ClassFor(size)
+	if !ok {
+		return SubChunk{}, false
+	}
+	cl := m.classes[ci]
+	if len(m.partial[ci]) == 0 {
+		// Carve a new super-chunk from ML1.
+		chunks := make([]uint32, 0, cl.M)
+		for i := 0; i < cl.M; i++ {
+			c, ok := m.ml1.Pop()
+			if !ok {
+				for _, cc := range chunks {
+					m.ml1.Push(cc)
+				}
+				return SubChunk{}, false
+			}
+			chunks = append(chunks, c)
+		}
+		sc := &superChunk{chunks: chunks}
+		for s := cl.N - 1; s >= 0; s-- {
+			sc.freeSlot = append(sc.freeSlot, s)
+		}
+		m.supers[ci] = append(m.supers[ci], sc)
+		m.partial[ci] = append(m.partial[ci], len(m.supers[ci])-1)
+		m.HeldChunks += cl.M
+	}
+	si := m.partial[ci][len(m.partial[ci])-1]
+	sc := m.supers[ci][si]
+	slot := sc.freeSlot[len(sc.freeSlot)-1]
+	sc.freeSlot = sc.freeSlot[:len(sc.freeSlot)-1]
+	sc.used++
+	if len(sc.freeSlot) == 0 {
+		m.partial[ci] = m.partial[ci][:len(m.partial[ci])-1]
+	}
+	m.UsedBytes += int64(size)
+	return SubChunk{Class: ci, Super: si, Slot: slot}, true
+}
+
+// Free releases a sub-chunk previously returned by Alloc; size must be the
+// size passed to Alloc (for byte accounting). When the super-chunk becomes
+// empty its chunks go back to ML1.
+func (m *ML2) Free(sc SubChunk, size int) error {
+	if sc.Class < 0 || sc.Class >= len(m.classes) {
+		return fmt.Errorf("freelist: bad class %d", sc.Class)
+	}
+	sup := m.supers[sc.Class][sc.Super]
+	if sup.used <= 0 {
+		return fmt.Errorf("freelist: double free in super %d", sc.Super)
+	}
+	wasFull := len(sup.freeSlot) == 0
+	sup.freeSlot = append(sup.freeSlot, sc.Slot)
+	sup.used--
+	m.UsedBytes -= int64(size)
+	cl := m.classes[sc.Class]
+	if sup.used == 0 {
+		// Fully free: return the chunks to ML1 and retire the super-chunk.
+		for _, c := range sup.chunks {
+			m.ml1.Push(c)
+		}
+		m.HeldChunks -= cl.M
+		sup.freeSlot = nil
+		sup.chunks = nil
+		// Remove from partial list if present.
+		for i, si := range m.partial[sc.Class] {
+			if si == sc.Super {
+				m.partial[sc.Class] = append(m.partial[sc.Class][:i], m.partial[sc.Class][i+1:]...)
+				break
+			}
+		}
+		return nil
+	}
+	if wasFull {
+		// Transitioned to having a free slot: track at the top (paper's
+		// policy keeps emptier supers toward the bottom).
+		m.partial[sc.Class] = append(m.partial[sc.Class], sc.Super)
+	}
+	return nil
+}
+
+// Address returns the DRAM byte address of a sub-chunk, for the simulator's
+// DRAM accesses: chunkNumber*4KB + slot*subSize, within the super-chunk's
+// first covering chunk. Sub-chunks may straddle chunk boundaries; the
+// simulator issues per-64B reads so straddling is handled by address math.
+func (m *ML2) Address(sc SubChunk) uint64 {
+	sup := m.supers[sc.Class][sc.Super]
+	cl := m.classes[sc.Class]
+	off := sc.Slot * cl.SubSize
+	ci := off / ChunkSize
+	return uint64(sup.chunks[ci])*ChunkSize + uint64(off%ChunkSize)
+}
+
+// BlockAddresses returns the DRAM addresses of the 64B blocks holding size
+// bytes of this sub-chunk, following the super-chunk's chunk chain across
+// 4KB boundaries (the chunks of a super-chunk need not be contiguous).
+func (m *ML2) BlockAddresses(sc SubChunk, size int) []uint64 {
+	sup := m.supers[sc.Class][sc.Super]
+	cl := m.classes[sc.Class]
+	off := sc.Slot * cl.SubSize
+	var out []uint64
+	for b := off / 64 * 64; b < off+size; b += 64 {
+		ci := b / ChunkSize
+		if ci >= len(sup.chunks) {
+			break
+		}
+		out = append(out, uint64(sup.chunks[ci])*ChunkSize+uint64(b%ChunkSize))
+	}
+	return out
+}

@@ -1,0 +1,343 @@
+package huffman
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Full-alphabet canonical Huffman — the general-purpose design point the
+// paper's reduced tree replaces. A FullTable codes every byte value that
+// appears in the input (up to 256 leaves) and ships its tree in the
+// compressed canonical form standard Deflate uses: per-symbol code lengths,
+// themselves run-length and Huffman encoded (RFC 1951's scheme, simplified
+// to one level of RLE + a fixed 5-bit length alphabet). Building and
+// restoring this tree is exactly the latency the paper measured as IBM's
+// T0 bottleneck; package memdeflate's general-purpose mode charges cycle
+// costs proportional to the work done here.
+
+// FullMaxDepth bounds canonical code lengths (Deflate uses 15).
+const FullMaxDepth = 15
+
+// FullTable is a canonical Huffman code over the byte alphabet.
+type FullTable struct {
+	lengths [256]uint8
+	codes   [256]code
+	dec     *decodeLUT
+	// Leaves is the number of distinct symbols coded.
+	Leaves int
+}
+
+// AnalyzeFull builds a full canonical table for data.
+func AnalyzeFull(data []byte) *FullTable {
+	var freq [256]int
+	for _, b := range data {
+		freq[b]++
+	}
+	t := &FullTable{}
+	t.build(freq)
+	return t
+}
+
+// build assigns depth-limited canonical code lengths from frequencies.
+func (t *FullTable) build(freq [256]int) {
+	type nd struct {
+		f, sym int
+		l, r   int // indexes into pool; -1 for leaves
+	}
+	var pool []nd
+	var live []int
+	for s, f := range freq {
+		if f > 0 {
+			pool = append(pool, nd{f: f, sym: s, l: -1, r: -1})
+			live = append(live, len(pool)-1)
+			t.Leaves++
+		}
+	}
+	switch t.Leaves {
+	case 0:
+		return
+	case 1:
+		t.lengths[pool[0].sym] = 1
+		t.finish()
+		return
+	}
+	for len(live) > 1 {
+		sort.SliceStable(live, func(i, j int) bool { return pool[live[i]].f < pool[live[j]].f })
+		a, b := live[0], live[1]
+		pool = append(pool, nd{f: pool[a].f + pool[b].f, sym: -1, l: a, r: b})
+		live = append([]int{len(pool) - 1}, live[2:]...)
+	}
+	var walk func(i, depth int)
+	walk = func(i, depth int) {
+		if pool[i].sym >= 0 {
+			d := depth
+			if d == 0 {
+				d = 1
+			}
+			if d > FullMaxDepth {
+				d = FullMaxDepth // clipped; repaired below
+			}
+			t.lengths[pool[i].sym] = uint8(d)
+			return
+		}
+		walk(pool[i].l, depth+1)
+		walk(pool[i].r, depth+1)
+	}
+	walk(live[0], 0)
+	t.repairKraft()
+	t.finish()
+}
+
+// repairKraft restores the Kraft equality after depth clipping by
+// lengthening the shallowest codes (the standard length-limiting fixup).
+func (t *FullTable) repairKraft() {
+	const one = 1 << FullMaxDepth
+	sum := 0
+	for _, l := range t.lengths {
+		if l > 0 {
+			sum += one >> l
+		}
+	}
+	for sum > one {
+		// Find the deepest code shallower than the limit and demote it.
+		best := -1
+		for s, l := range t.lengths {
+			if l > 0 && l < FullMaxDepth {
+				if best == -1 || l > t.lengths[best] {
+					best = s
+				}
+			}
+		}
+		if best == -1 {
+			break
+		}
+		sum -= one >> t.lengths[best]
+		t.lengths[best]++
+		sum += one >> t.lengths[best]
+	}
+}
+
+// finish assigns canonical codes from lengths.
+func (t *FullTable) finish() {
+	type sl struct {
+		sym int
+		l   uint8
+	}
+	var order []sl
+	for s, l := range t.lengths {
+		if l > 0 {
+			order = append(order, sl{s, l})
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].l != order[j].l {
+			return order[i].l < order[j].l
+		}
+		return order[i].sym < order[j].sym
+	})
+	var next uint32
+	var prev uint8
+	for _, e := range order {
+		next <<= uint(e.l - prev)
+		prev = e.l
+		t.codes[e.sym] = code{bits: next, len: e.l}
+		next++
+	}
+}
+
+// AppendCompressedHeader writes the canonical tree in compressed form:
+// 256 code lengths, zero-run-length encoded, each token in 5+ bits
+// (value 0..15 = literal length; 16 = short zero run + 3 bits; 17 = long
+// zero run + 7 bits). This is what makes general-purpose tree restoration
+// slow — the decompressor must decode it serially before any data.
+func (t *FullTable) AppendCompressedHeader(dst []byte) []byte {
+	var acc uint64
+	var nbits uint
+	put := func(v uint64, n uint) {
+		acc = acc<<n | v
+		nbits += n
+		for nbits >= 8 {
+			dst = append(dst, byte(acc>>(nbits-8)))
+			nbits -= 8
+		}
+	}
+	for s := 0; s < 256; {
+		l := t.lengths[s]
+		if l != 0 {
+			put(uint64(l), 5)
+			s++
+			continue
+		}
+		run := 0
+		for s+run < 256 && t.lengths[s+run] == 0 {
+			run++
+		}
+		switch {
+		case run >= 11:
+			if run > 138 {
+				run = 138
+			}
+			put(17, 5)
+			put(uint64(run-11), 7)
+		case run >= 3:
+			put(16, 5)
+			put(uint64(run-3), 3)
+		default:
+			for i := 0; i < run; i++ {
+				put(0, 5)
+			}
+		}
+		s += run
+	}
+	if nbits > 0 {
+		dst = append(dst, byte(acc<<(8-nbits)))
+	}
+	return dst
+}
+
+// ParseCompressedHeader inverts AppendCompressedHeader, returning the table
+// and bytes consumed.
+func ParseCompressedHeader(src []byte) (*FullTable, int, error) {
+	t := &FullTable{}
+	pos := 0
+	get := func(n uint) (uint64, error) {
+		var v uint64
+		for i := uint(0); i < n; i++ {
+			idx := pos + int(i)
+			if idx >= len(src)*8 {
+				return 0, fmt.Errorf("huffman: truncated full header")
+			}
+			bit := src[idx/8] >> (7 - uint(idx)%8) & 1
+			v = v<<1 | uint64(bit)
+		}
+		pos += int(n)
+		return v, nil
+	}
+	s := 0
+	for s < 256 {
+		tok, err := get(5)
+		if err != nil {
+			return nil, 0, err
+		}
+		switch {
+		case tok <= 15:
+			if tok > 0 {
+				t.lengths[s] = uint8(tok)
+				t.Leaves++
+			}
+			s++
+		case tok == 16:
+			run, err := get(3)
+			if err != nil {
+				return nil, 0, err
+			}
+			s += int(run) + 3
+		default:
+			run, err := get(7)
+			if err != nil {
+				return nil, 0, err
+			}
+			s += int(run) + 11
+		}
+	}
+	if s != 256 {
+		return nil, 0, fmt.Errorf("huffman: full header decoded %d symbols", s)
+	}
+	t.finish()
+	return t, (pos + 7) / 8, nil
+}
+
+// HeaderSize returns the compressed-tree size in bytes.
+func (t *FullTable) HeaderSize() int { return len(t.AppendCompressedHeader(nil)) }
+
+// Encode appends the bitstream for data.
+func (t *FullTable) Encode(dst, data []byte) ([]byte, Stats) {
+	var st Stats
+	st.InputBytes = len(data)
+	var acc uint64
+	var nbits uint
+	for _, b := range data {
+		c := t.codes[b]
+		acc = acc<<uint(c.len) | uint64(c.bits)
+		nbits += uint(c.len)
+		st.OutputBits += int(c.len)
+		for nbits >= 8 {
+			dst = append(dst, byte(acc>>(nbits-8)))
+			nbits -= 8
+		}
+	}
+	if nbits > 0 {
+		dst = append(dst, byte(acc<<(8-nbits)))
+	}
+	return dst, st
+}
+
+// Decode reads outLen symbols from the bitstream.
+func (t *FullTable) Decode(enc []byte, outLen int) ([]byte, error) {
+	if t.dec == nil {
+		maxLen := uint(0)
+		for _, c := range t.codes {
+			if uint(c.len) > maxLen {
+				maxLen = uint(c.len)
+			}
+		}
+		if maxLen == 0 {
+			return nil, fmt.Errorf("huffman: empty full table")
+		}
+		l := &decodeLUT{maxLen: maxLen, sym: make([]int16, 1<<maxLen), ln: make([]uint8, 1<<maxLen)}
+		for i := range l.sym {
+			l.sym[i] = -1
+		}
+		for s := 0; s < 256; s++ {
+			c := t.codes[s]
+			if c.len == 0 {
+				continue
+			}
+			fill := maxLen - uint(c.len)
+			base := c.bits << fill
+			for j := uint32(0); j < 1<<fill; j++ {
+				l.sym[base|j] = int16(s)
+				l.ln[base|j] = c.len
+			}
+		}
+		t.dec = l
+	}
+	l := t.dec
+	out := make([]byte, 0, outLen)
+	var acc uint64
+	var nbits uint
+	pos := 0
+	for len(out) < outLen {
+		for nbits < l.maxLen {
+			if pos < len(enc) {
+				acc = acc<<8 | uint64(enc[pos])
+				pos++
+				nbits += 8
+			} else if nbits == 0 {
+				return nil, fmt.Errorf("huffman: truncated full stream")
+			} else {
+				acc <<= 8
+				nbits += 8
+			}
+		}
+		peek := uint32(acc>>(nbits-l.maxLen)) & ((1 << l.maxLen) - 1)
+		sym := l.sym[peek]
+		if sym < 0 {
+			return nil, fmt.Errorf("huffman: invalid full code")
+		}
+		nbits -= uint(l.ln[peek])
+		out = append(out, byte(sym))
+	}
+	return out, nil
+}
+
+// MaxCodeLenFull reports the table depth (restoration cost scales with it).
+func (t *FullTable) MaxCodeLenFull() int {
+	var m uint8
+	for _, c := range t.codes {
+		if c.len > m {
+			m = c.len
+		}
+	}
+	return int(m)
+}

@@ -1,0 +1,125 @@
+package huffman
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func fullRoundTrip(t *testing.T, data []byte) (*FullTable, Stats) {
+	t.Helper()
+	table := AnalyzeFull(data)
+	hdr := table.AppendCompressedHeader(nil)
+	enc, st := table.Encode(nil, data)
+	parsed, n, err := ParseCompressedHeader(hdr)
+	if err != nil {
+		t.Fatalf("parse full header: %v", err)
+	}
+	if n != len(hdr) {
+		t.Fatalf("header consumed %d of %d", n, len(hdr))
+	}
+	if parsed.Leaves != table.Leaves {
+		t.Fatalf("leaves %d != %d", parsed.Leaves, table.Leaves)
+	}
+	dec, err := parsed.Decode(enc, len(data))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !bytes.Equal(dec, data) {
+		t.Fatalf("full round trip mismatch (%d bytes)", len(data))
+	}
+	return table, st
+}
+
+func TestFullRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for i := 0; i < 20; i++ {
+		fullRoundTrip(t, textLike(rng, 1+rng.Intn(4096)))
+	}
+	// Uniform bytes: every symbol coded, near-8-bit codes.
+	uniform := make([]byte, 4096)
+	for i := range uniform {
+		uniform[i] = byte(i)
+	}
+	table, st := fullRoundTrip(t, uniform)
+	if table.Leaves != 256 {
+		t.Errorf("leaves = %d, want 256", table.Leaves)
+	}
+	if st.OutputBits < 4096*7 {
+		t.Errorf("uniform data compressed impossibly: %d bits", st.OutputBits)
+	}
+}
+
+func TestFullBeatsReducedOnDiverseData(t *testing.T) {
+	// With many moderately-common symbols, a full tree out-compresses the
+	// 16-leaf reduced tree (which escapes everything outside the top 15) —
+	// the ratio cost the paper pays for fast tree handling.
+	rng := rand.New(rand.NewSource(42))
+	data := make([]byte, 4096)
+	for i := range data {
+		data[i] = byte(rng.Intn(64)) // 64 near-uniform symbols
+	}
+	full := AnalyzeFull(data)
+	_, fullStats := full.Encode(nil, data)
+	reduced := Analyze(data, 0)
+	_, redStats := reduced.Encode(nil, data)
+	if fullStats.OutputBits >= redStats.OutputBits {
+		t.Errorf("full %d bits not below reduced %d bits on 64-symbol data",
+			fullStats.OutputBits, redStats.OutputBits)
+	}
+}
+
+func TestFullDepthLimit(t *testing.T) {
+	// Extremely skewed frequencies would want depth > 15; the limiter must
+	// keep lengths legal and Kraft-consistent.
+	data := make([]byte, 0, 1<<16)
+	for s := 0; s < 40; s++ {
+		n := 1 << uint(s/3)
+		for i := 0; i < n && len(data) < 1<<16; i++ {
+			data = append(data, byte(s))
+		}
+	}
+	table, _ := fullRoundTrip(t, data)
+	if d := table.MaxCodeLenFull(); d > FullMaxDepth {
+		t.Errorf("depth %d exceeds %d", d, FullMaxDepth)
+	}
+	sum := 0.0
+	for _, c := range table.codes {
+		if c.len > 0 {
+			sum += 1 / float64(uint64(1)<<c.len)
+		}
+	}
+	if sum > 1.0001 {
+		t.Errorf("Kraft sum %.4f > 1", sum)
+	}
+}
+
+func TestFullHeaderCompressesZeroRuns(t *testing.T) {
+	// Few symbols -> the 256-length header must RLE the gaps well below
+	// the naive 160 bytes.
+	data := bytes.Repeat([]byte("abcd"), 100)
+	table := AnalyzeFull(data)
+	if h := table.HeaderSize(); h > 24 {
+		t.Errorf("sparse header = %d bytes, want small", h)
+	}
+}
+
+func TestQuickFullRoundTrip(t *testing.T) {
+	f := func(seed int64, n uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		data := textLike(rng, 1+int(n)%4096)
+		table := AnalyzeFull(data)
+		hdr := table.AppendCompressedHeader(nil)
+		enc, _ := table.Encode(nil, data)
+		parsed, _, err := ParseCompressedHeader(hdr)
+		if err != nil {
+			return false
+		}
+		dec, err := parsed.Decode(enc, len(data))
+		return err == nil && bytes.Equal(dec, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

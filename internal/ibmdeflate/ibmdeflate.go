@@ -1,0 +1,63 @@
+// Package ibmdeflate models the performance of IBM's general-purpose ASIC
+// Deflate on Power9/z15 (Abali et al., ISCA 2020 — reference [11] of the
+// paper) the same way the paper does: analytically, from the published
+// setup time T0 and streaming bandwidth. The long T0 is dominated by
+// building/restoring the canonical Huffman trees, which is exactly what the
+// memory-specialized design removes.
+package ibmdeflate
+
+import "tmcc/internal/config"
+
+// Model holds the analytic parameters from [11].
+type Model struct {
+	// SetupCompress is T0 for a new independent input on the compress side.
+	SetupCompress config.Time
+	// SetupDecompress is T0 on the decompress side (tree reconstruction).
+	SetupDecompress config.Time
+	// StreamBW is the peak streaming bandwidth in bytes/ns for large inputs.
+	StreamBW float64
+}
+
+// Default returns the model instantiated so that a 4KB page reproduces the
+// paper's Table II row for IBM's design (1100 ns decompress, 1050 ns
+// compress, 3.7/3.9 GB/s for 4KB pages; 15 GB/s peak streaming).
+func Default() Model {
+	return Model{
+		SetupCompress:   777 * config.Nanosecond,
+		SetupDecompress: 827 * config.Nanosecond,
+		StreamBW:        15.0, // 15 GB/s = 15 B/ns
+	}
+}
+
+func (m Model) stream(bytes int) config.Time {
+	return config.Time(float64(bytes) / m.StreamBW * float64(config.Nanosecond))
+}
+
+// CompressLatency returns the time to compress one independent input of the
+// given size.
+func (m Model) CompressLatency(bytes int) config.Time {
+	return m.SetupCompress + m.stream(bytes)
+}
+
+// DecompressLatency returns the time to decompress one independent input.
+func (m Model) DecompressLatency(bytes int) config.Time {
+	return m.SetupDecompress + m.stream(bytes)
+}
+
+// HalfPageLatency is the average time until a needed block in a page of the
+// given size has been produced: the setup cost is paid in full, then half
+// the page streams out.
+func (m Model) HalfPageLatency(bytes int) config.Time {
+	return m.SetupDecompress + m.stream(bytes/2)
+}
+
+// CompressThroughputGBs returns sustained GB/s for back-to-back independent
+// inputs of the given size: T0 cannot be hidden between independent inputs.
+func (m Model) CompressThroughputGBs(bytes int) float64 {
+	return float64(bytes) / (float64(m.CompressLatency(bytes)) / float64(config.Nanosecond))
+}
+
+// DecompressThroughputGBs is the decompress-side equivalent.
+func (m Model) DecompressThroughputGBs(bytes int) float64 {
+	return float64(bytes) / (float64(m.DecompressLatency(bytes)) / float64(config.Nanosecond))
+}

@@ -1,0 +1,39 @@
+package ibmdeflate
+
+import (
+	"testing"
+
+	"tmcc/internal/config"
+)
+
+func TestTableIIRow(t *testing.T) {
+	m := Default()
+	if got := m.DecompressLatency(4096); got != 1100133*config.Picosecond {
+		// 827ns setup + 4096/15 = 273.07ns stream.
+		if got < 1090*config.Nanosecond || got > 1110*config.Nanosecond {
+			t.Errorf("4KB decompress = %v ps, want ~1100ns", got)
+		}
+	}
+	if got := m.CompressLatency(4096); got < 1040*config.Nanosecond || got > 1060*config.Nanosecond {
+		t.Errorf("4KB compress = %v ps, want ~1050ns", got)
+	}
+	if got := m.HalfPageLatency(4096); got <= m.SetupDecompress || got >= m.DecompressLatency(4096) {
+		t.Errorf("half-page %v out of (setup, full) range", got)
+	}
+}
+
+func TestThroughputDominatedBySetup(t *testing.T) {
+	m := Default()
+	// For 4KB inputs, T0 dominates: throughput is far below streaming peak.
+	if got := m.DecompressThroughputGBs(4096); got < 3.4 || got > 4.0 {
+		t.Errorf("4KB throughput = %.2f, want ~3.7", got)
+	}
+	// For large streams it approaches the 15 GB/s peak.
+	if got := m.DecompressThroughputGBs(64 << 20); got < 14 {
+		t.Errorf("64MB throughput = %.2f, want near 15", got)
+	}
+	// Monotone in input size.
+	if m.CompressThroughputGBs(4096) >= m.CompressThroughputGBs(1<<20) {
+		t.Error("throughput not improving with input size")
+	}
+}

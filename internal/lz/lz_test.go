@@ -1,0 +1,136 @@
+package lz
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tmcc/internal/content"
+)
+
+func roundTrip(t *testing.T, c *Compressor, src []byte) Stats {
+	t.Helper()
+	enc, st := c.Compress(nil, src)
+	if st.OutputBytes != len(enc) {
+		t.Fatalf("stats output %d != len %d", st.OutputBytes, len(enc))
+	}
+	dec, err := Decompress(enc, len(src), c.Window())
+	if err != nil {
+		t.Fatalf("decompress: %v", err)
+	}
+	if !bytes.Equal(dec, src) {
+		t.Fatalf("round trip mismatch")
+	}
+	return st
+}
+
+func TestRoundTripArchetypes(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	c := New(DefaultWindow)
+	for a := content.Archetype(0); a < 10; a++ {
+		for i := 0; i < 10; i++ {
+			page := content.GeneratePage(a, rng)
+			st := roundTrip(t, c, page)
+			if a == content.Zero && st.OutputBytes > 200 {
+				t.Errorf("zero page LZ output %d, want small", st.OutputBytes)
+			}
+		}
+	}
+}
+
+func TestRoundTripWindows(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, w := range []int{256, 512, 1024, 2048, 4096} {
+		c := New(w)
+		for i := 0; i < 20; i++ {
+			page := content.GeneratePage(content.Archetype(rng.Intn(10)), rng)
+			roundTrip(t, c, page)
+		}
+	}
+}
+
+func TestShortInputs(t *testing.T) {
+	c := New(DefaultWindow)
+	for _, src := range [][]byte{{}, {1}, {1, 2}, {1, 2, 3}, []byte("abcabcabcabc")} {
+		roundTrip(t, c, src)
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	c := New(DefaultWindow)
+	f := func(seed int64, kind uint8, length uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		page := content.GeneratePage(content.Archetype(kind%10), rng)
+		n := int(length) % (len(page) + 1)
+		src := page[:n]
+		enc, _ := c.Compress(nil, src)
+		dec, err := Decompress(enc, len(src), c.Window())
+		return err == nil && bytes.Equal(dec, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompressionIsEffective(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	c := New(DefaultWindow)
+	// Text pages should compress well below half under LZ alone.
+	var in, out int
+	for i := 0; i < 50; i++ {
+		page := content.GeneratePage(content.Text, rng)
+		_, st := c.Compress(nil, page)
+		in += st.InputBytes
+		out += st.OutputBytes
+	}
+	if ratio := float64(in) / float64(out); ratio < 2 {
+		t.Errorf("text LZ ratio = %.2f, want >= 2", ratio)
+	}
+	// Random pages should expand by at most the mask overhead (12.5%).
+	page := content.GeneratePage(content.Random, rng)
+	_, st := c.Compress(nil, page)
+	if st.OutputBytes > st.InputBytes*9/8+8 {
+		t.Errorf("random page expanded to %d", st.OutputBytes)
+	}
+}
+
+func TestWindowRespected(t *testing.T) {
+	// A repeat at distance > window must not be matched.
+	src := make([]byte, 3000)
+	copy(src, []byte("abcdefghijklmnopqrstuvwxyz012345"))
+	copy(src[2500:], []byte("abcdefghijklmnopqrstuvwxyz012345"))
+	c := New(1024)
+	enc, _ := c.Compress(nil, src)
+	dec, err := Decompress(enc, len(src), 1024)
+	if err != nil || !bytes.Equal(dec, src) {
+		t.Fatalf("round trip failed: %v", err)
+	}
+}
+
+func TestStatsCoherent(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	c := New(DefaultWindow)
+	page := content.GeneratePage(content.Text, rng)
+	_, st := c.Compress(nil, page)
+	if st.Literals+st.MatchedIn != st.InputBytes {
+		t.Errorf("literals %d + matched %d != input %d", st.Literals, st.MatchedIn, st.InputBytes)
+	}
+	if st.CopyCycles < st.Matches {
+		t.Errorf("copy cycles %d < matches %d", st.CopyCycles, st.Matches)
+	}
+}
+
+func BenchmarkCompressPage(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pages := make([][]byte, 16)
+	for i := range pages {
+		pages[i] = content.GeneratePage(content.Archetype(i%10), rng)
+	}
+	c := New(DefaultWindow)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Compress(nil, pages[i%len(pages)])
+	}
+}

@@ -1,0 +1,665 @@
+// Package mc implements the compared memory-controller designs:
+//
+//   - Uncompressed: physical addresses map straight to DRAM (Figure 18's
+//     "No Compression" baseline).
+//   - Compresso (Choukse et al., MICRO 2018; Section II/III): block-level
+//     compression for capacity; every 4KB page needs a 64B metadata block
+//     (CTE), cached with 4KB reach per block, fetched serially from DRAM in
+//     front of the data on a CTE-cache miss.
+//   - OSInspired: the bare-bone two-level design of Section IV — page-level
+//     CTEs (32KB reach per cached block), hot pages uncompressed in ML1,
+//     cold pages Deflate-compressed in ML2, Recency List eviction, ML1/ML2
+//     free lists — but without TMCC's optimizations: CTE misses resolve
+//     serially and ML2 uses the slow general-purpose Deflate.
+//   - TMCC: OSInspired plus (a) speculative parallel data+CTE DRAM access
+//     verified against CTEs embedded in compressed PTBs (Section V-A) and
+//     (b) the memory-specialized fast Deflate for ML2 (Section V-B).
+//
+// The controller is execution-driven for addresses and statistics;
+// per-page compressed sizes come from the workload's SizeModel, which runs
+// the real compressors over the benchmark's synthetic contents.
+package mc
+
+import (
+	"math/rand"
+
+	"tmcc/internal/cache"
+	"tmcc/internal/config"
+	"tmcc/internal/cte"
+	"tmcc/internal/ctecache"
+	"tmcc/internal/dram"
+	"tmcc/internal/freelist"
+	"tmcc/internal/recency"
+	"tmcc/internal/workload"
+)
+
+// Kind selects the controller design.
+type Kind int
+
+// The designs.
+const (
+	Uncompressed Kind = iota
+	Compresso
+	OSInspired
+	TMCC
+)
+
+var kindNames = [...]string{"uncompressed", "compresso", "os-inspired", "tmcc"}
+
+// String names the design.
+func (k Kind) String() string { return kindNames[k] }
+
+// Config assembles one controller.
+type Config struct {
+	Kind Kind
+	Sys  config.System
+	// BudgetPages is the DRAM the design may use, in 4KB frames. The
+	// capacity experiments compare designs at equal budgets.
+	BudgetPages uint64
+	// OSPages is the OS physical pool size (PPN space; up to 4x budget).
+	OSPages uint64
+	// Sizes provides per-page compressed sizes; nil only for Uncompressed.
+	Sizes *workload.SizeModel
+	// ML2 timing: the half-page decompression latency charged on a demand
+	// ML2 read and the compressor occupancy charged per eviction.
+	ML2HalfPage config.Time
+	ML2Compress config.Time
+	// Seed drives the recency sampling decisions.
+	Seed int64
+	// CTEOverride replaces the design's default CTE cache geometry
+	// (Section III explores 64KB block-level and 4X variants).
+	CTEOverride *config.CTECacheCfg
+	// VictimShadow tracks would-be hits of evicted/missed CTEs in an
+	// LLC-sized shadow structure (Figure 2's "CTE hits in L3$" line); it
+	// is statistics-only — the paper concludes against caching CTEs in
+	// the LLC, and so do we.
+	VictimShadow bool
+}
+
+// AccessTag classifies how an ML1 read was served (Figure 19).
+type AccessTag int
+
+// Figure 19 categories.
+const (
+	TagCTEHit        AccessTag = iota // translation already in CTE cache
+	TagParallelOK                     // embedded CTE correct: data and CTE fetched in parallel
+	TagParallelWrong                  // embedded CTE stale: re-access after verify
+	TagSerial                         // no embedded CTE: serial CTE then data
+	TagML2                            // served from ML2 (decompress + migrate)
+	TagUncompressed                   // no-compression design
+)
+
+// Result reports one demand access.
+type Result struct {
+	Done config.Time
+	Tag  AccessTag
+}
+
+// Stats aggregates controller behaviour.
+type Stats struct {
+	Reads           uint64
+	Writes          uint64
+	CTEHits         uint64
+	CTEMisses       uint64
+	CTEFetchesDRAM  uint64
+	ParallelOK      uint64
+	ParallelWrong   uint64
+	SerialNoEmbed   uint64
+	ML2Reads        uint64
+	ML2ToML1        uint64 // demand migrations
+	ML1ToML2        uint64 // evictions
+	IncompressSkips uint64
+	// CTE misses on requests flagged as walk-related (Figure 5).
+	CTEMissWalkRelated uint64
+	// CTEVictimHits counts CTE-cache misses that an LLC-sized victim
+	// structure would have caught (Figure 2, statistics-only).
+	CTEVictimHits uint64
+}
+
+type pageState struct {
+	chunk          uint32 // ML1 frame when !inML2
+	sub            freelist.SubChunk
+	inML2          bool
+	incompressible bool
+	placed         bool
+}
+
+// MC is one memory-side controller instance.
+type MC struct {
+	cfg  Config
+	dram *dram.Controller
+	cte  *ctecache.Cache
+
+	pages   []pageState
+	ml1     *freelist.ML1
+	ml2     *freelist.ML2
+	rec     *recency.List
+	rng     *rand.Rand
+	ml1Size int // pages currently resident in ML1 (for accounting)
+	lowMark int // ML1 free-list grow threshold, scaled to the budget
+	crit    int
+
+	chunkPool    uint64 // frames available for data
+	cteTableBase uint64
+
+	// Migration staging buffer (Section VI): busy-until times of the eight
+	// 4KB entries; a demand ML2 read stalls while all are busy.
+	migBuf []config.Time
+
+	// Figure 2's shadow victim structure (stats only).
+	shadow    *cache.Cache
+	shadowPPB uint64
+
+	Stats Stats
+}
+
+// New builds a controller. For compressed designs the caller then Places
+// every mapped page (hot first) before simulation.
+func New(cfg Config) *MC {
+	m := &MC{
+		cfg:  cfg,
+		dram: dram.New(cfg.Sys.DRAM),
+		rng:  rand.New(rand.NewSource(cfg.Seed + 1000)),
+	}
+	switch cfg.Kind {
+	case Uncompressed:
+		m.chunkPool = cfg.BudgetPages
+	case Compresso:
+		cteCfg := config.CompressoCTE()
+		if cfg.CTEOverride != nil {
+			cteCfg = *cfg.CTEOverride
+		}
+		m.cte = ctecache.New(cteCfg)
+		m.reserveCTETable(64)
+	case OSInspired, TMCC:
+		cteCfg := cfg.Sys.Comp.CTE
+		if cfg.CTEOverride != nil {
+			cteCfg = *cfg.CTEOverride
+		}
+		m.cte = ctecache.New(cteCfg)
+		m.reserveCTETable(8)
+		chunks := make([]uint32, m.chunkPool)
+		for i := range chunks {
+			chunks[i] = uint32(m.chunkPool - 1 - uint64(i)) // pop low frames first
+		}
+		m.ml1 = freelist.NewML1(chunks)
+		m.ml2 = freelist.NewML2(nil, m.ml1)
+		m.rec = recency.New()
+		m.migBuf = make([]config.Time, cfg.Sys.Comp.MigrationBufPages)
+		// The paper's watermarks (4000/3000 chunks) fit 100GB machines;
+		// scale them down with the budget so small runs keep the same
+		// relative slack.
+		m.lowMark = cfg.Sys.Comp.FreeListLowChunks
+		if s := int(cfg.BudgetPages / 32); s < m.lowMark {
+			m.lowMark = s
+		}
+		if m.lowMark < 8 {
+			m.lowMark = 8
+		}
+		m.crit = m.lowMark * cfg.Sys.Comp.FreeListCritical / maxInt(1, cfg.Sys.Comp.FreeListLowChunks)
+	}
+	if cfg.VictimShadow && m.cte != nil {
+		m.shadow = cache.New(cfg.Sys.Cache.L3SizeMB*config.MiB, 16)
+		m.shadowPPB = uint64(1)
+		if cfg.CTEOverride != nil {
+			m.shadowPPB = uint64(cfg.CTEOverride.ReachPerBlock / (4 * config.KiB))
+		}
+		if m.shadowPPB == 0 {
+			m.shadowPPB = 1
+		}
+	}
+	if cfg.OSPages > 0 {
+		m.pages = make([]pageState, cfg.OSPages)
+	}
+	return m
+}
+
+// reserveCTETable carves the linear CTE table (bytesPerPage per OS page)
+// out of the budget.
+func (m *MC) reserveCTETable(bytesPerPage uint64) {
+	tablePages := (m.cfg.OSPages*bytesPerPage + 4095) / 4096
+	if tablePages >= m.cfg.BudgetPages {
+		panic("mc: budget smaller than CTE table")
+	}
+	m.chunkPool = m.cfg.BudgetPages - tablePages
+	m.cteTableBase = m.chunkPool * 4096
+}
+
+// ChunkPool reports the DRAM frames available for data after metadata
+// reservations.
+func (m *MC) ChunkPool() uint64 { return m.chunkPool }
+
+// LowMark reports the scaled ML1 free-list watermark.
+func (m *MC) LowMark() int { return m.lowMark }
+
+// DRAM exposes the timing model (the simulator reads bandwidth stats).
+func (m *MC) DRAM() *dram.Controller { return m.dram }
+
+// Kind reports the design.
+func (m *MC) Kind() Kind { return m.cfg.Kind }
+
+// ML1Pages returns resident uncompressed pages (compressed designs).
+func (m *MC) ML1Pages() int { return m.ml1Size }
+
+// FreeML1Chunks returns the ML1 free list depth.
+func (m *MC) FreeML1Chunks() int {
+	if m.ml1 == nil {
+		return 0
+	}
+	return m.ml1.Len()
+}
+
+// UsedPages estimates current DRAM usage in 4KB frames: data plus the CTE
+// table.
+func (m *MC) UsedPages() uint64 {
+	switch m.cfg.Kind {
+	case Uncompressed:
+		return uint64(m.ml1Size)
+	case Compresso:
+		return m.cfg.BudgetPages // sized at placement
+	default:
+		held := uint64(0)
+		if m.ml2 != nil {
+			held = uint64(m.ml2.HeldChunks)
+		}
+		return uint64(m.ml1Size) + held + (m.cfg.BudgetPages - m.chunkPool)
+	}
+}
+
+// Place makes ppn resident. toML2 pushes it to ML2 (cold pages at warmup).
+// Returns false when toML2 was requested but the page is incompressible or
+// space ran out (the page lands in ML1 instead).
+func (m *MC) Place(ppn uint64, toML2 bool) bool {
+	st := &m.pages[ppn]
+	if st.placed {
+		return true
+	}
+	st.placed = true
+	switch m.cfg.Kind {
+	case Uncompressed, Compresso:
+		// Location is a fixed function of PPN (Compresso keeps pages in
+		// place, repacking blocks within them).
+		st.chunk = uint32(ppn % m.chunkPool)
+		m.ml1Size++
+		return true
+	}
+	if toML2 && !st.incompressible {
+		size, _ := m.cfg.Sizes.PageSizes(ppn)
+		if sub, ok := m.ml2.Alloc(size); ok && size < 4096 {
+			st.inML2 = true
+			st.sub = sub
+			return true
+		}
+		if size >= 4096 {
+			st.incompressible = true
+		}
+	}
+	c, ok := m.ml1.Pop()
+	if !ok {
+		panic("mc: ML1 exhausted during placement; budget too small")
+	}
+	st.chunk = c
+	m.ml1Size++
+	m.rec.Touch(ppn)
+	return !toML2
+}
+
+// TouchPage refreshes a page's recency (placement uses it to seed the
+// Recency List coldest-to-hottest).
+func (m *MC) TouchPage(ppn uint64) {
+	if m.rec == nil {
+		return
+	}
+	st := &m.pages[ppn]
+	if st.placed && !st.inML2 && !st.incompressible {
+		m.rec.Touch(ppn)
+	}
+}
+
+// CurrentCTE snapshots the page's translation for embedding into PTBs.
+func (m *MC) CurrentCTE(ppn uint64) cte.Entry {
+	st := &m.pages[ppn]
+	e := cte.Entry{InML2: st.inML2, IsIncompressible: st.incompressible}
+	if st.inML2 {
+		e.DRAMPage = uint32(m.ml2.Address(st.sub) / 4096)
+	} else {
+		e.DRAMPage = st.chunk
+	}
+	return e
+}
+
+func (m *MC) dataAddr(st *pageState, blockOff int) uint64 {
+	return uint64(st.chunk)*4096 + uint64(blockOff*64)
+}
+
+func (m *MC) cteAddr(ppn uint64) uint64 {
+	return m.cte.CTETableAddr(m.cteTableBase, ppn)
+}
+
+// Access serves one 64B demand read or posted write from the LLC.
+// embedded, when non-nil, is the truncated CTE the request piggybacked
+// (TMCC only); walkRelated tags requests caused by a TLB miss (the PTB
+// fetches and the immediately following data access) for Figure 5.
+func (m *MC) Access(now config.Time, ppn uint64, blockOff int, write bool, embedded *cte.Entry, walkRelated bool) Result {
+	if write {
+		m.Stats.Writes++
+	} else {
+		m.Stats.Reads++
+	}
+	st := &m.pages[ppn]
+	if !st.placed {
+		// Lazily place pages first touched during simulation (e.g. table
+		// pages): they are hot, keep them in ML1.
+		m.Place(ppn, false)
+	}
+
+	if m.cfg.Kind == Uncompressed {
+		done := m.dramOp(now, m.dataAddr(st, blockOff), write)
+		return Result{Done: done, Tag: TagUncompressed}
+	}
+
+	// Every request, read or write, needs a physical-to-DRAM translation.
+	cteHit := m.cte.Lookup(ppn)
+	if cteHit {
+		m.Stats.CTEHits++
+	} else {
+		m.Stats.CTEMisses++
+		if walkRelated {
+			m.Stats.CTEMissWalkRelated++
+		}
+		if m.shadow != nil {
+			if m.shadow.Access(ppn / m.shadowPPB) {
+				m.Stats.CTEVictimHits++
+			}
+			m.shadow.Insert(ppn/m.shadowPPB, 0)
+		}
+	}
+
+	if m.cfg.Kind == Compresso {
+		return m.accessCompresso(now, st, ppn, blockOff, write, cteHit)
+	}
+	return m.accessTwoLevel(now, st, ppn, blockOff, write, cteHit, embedded)
+}
+
+func (m *MC) accessCompresso(now config.Time, st *pageState, ppn uint64, blockOff int, write bool, cteHit bool) Result {
+	t := now
+	if !cteHit {
+		// Serial metadata fetch in front of the data access.
+		t = m.dramOp(t, m.cteAddr(ppn), false)
+		m.Stats.CTEFetchesDRAM++
+		m.cte.Fill(ppn)
+	}
+	done := m.dramOp(t, m.dataAddr(st, blockOff), write)
+	tag := TagCTEHit
+	if !cteHit {
+		tag = TagSerial
+	}
+	if write {
+		// Writebacks can change a block's compressibility; Compresso
+		// repacks the page when its chunks overflow or gain slack. Charge
+		// the occasional background traffic (reads+writes of the moved
+		// blocks).
+		if m.rng.Float64() < 0.03 {
+			for i := 0; i < 8; i++ {
+				a := m.dataAddr(st, (blockOff+i)%64)
+				m.dram.Read(done, a)
+				m.dram.Write(done, a)
+			}
+		}
+	}
+	return Result{Done: done, Tag: tag}
+}
+
+func (m *MC) accessTwoLevel(now config.Time, st *pageState, ppn uint64, blockOff int, write bool, cteHit bool, embedded *cte.Entry) Result {
+	// Sample 1% of ML1 accesses into the Recency List (Section IV-B).
+	if !st.inML2 && m.rng.Float64() < m.cfg.Sys.Comp.RecencySampleRate {
+		if st.incompressible {
+			if write && m.rng.Float64() < 0.01 {
+				m.rec.InsertCold(ppn) // re-candidate after writebacks
+				st.incompressible = false
+			}
+		} else {
+			m.rec.Touch(ppn)
+		}
+	}
+
+	if st.inML2 {
+		done := m.serveML2(now, st, ppn, blockOff, cteHit)
+		m.maybeEvict(done)
+		return Result{Done: done, Tag: TagML2}
+	}
+
+	var done config.Time
+	tag := TagCTEHit
+	switch {
+	case cteHit:
+		done = m.dramOp(now, m.dataAddr(st, blockOff), write)
+	case m.cfg.Kind == TMCC && embedded != nil:
+		// Speculative parallel access (Section V-A3): fetch the data at
+		// the embedded CTE's location and the authoritative CTE at once.
+		truth := m.CurrentCTE(ppn)
+		cteDone := m.dramOp(now, m.cteAddr(ppn), false)
+		m.Stats.CTEFetchesDRAM++
+		m.cte.Fill(ppn)
+		specAddr := uint64(embedded.DRAMPage)*4096 + uint64(blockOff*64)
+		dataDone := m.dramOp(now, specAddr, write)
+		done = maxTime(cteDone, dataDone)
+		if embedded.DRAMPage == truth.DRAMPage && !embedded.InML2 {
+			tag = TagParallelOK
+			m.Stats.ParallelOK++
+		} else {
+			// Mismatch: re-access at the correct location.
+			tag = TagParallelWrong
+			m.Stats.ParallelWrong++
+			done = m.dramOp(done, m.dataAddr(st, blockOff), write)
+		}
+	default:
+		// Serial: wait for the CTE from DRAM, then fetch the data.
+		t := m.dramOp(now, m.cteAddr(ppn), false)
+		m.Stats.CTEFetchesDRAM++
+		m.cte.Fill(ppn)
+		done = m.dramOp(t, m.dataAddr(st, blockOff), write)
+		tag = TagSerial
+		m.Stats.SerialNoEmbed++
+	}
+	m.maybeEvict(done)
+	return Result{Done: done, Tag: tag}
+}
+
+// serveML2 handles a demand access to a compressed page: resolve the CTE,
+// stream the compressed blocks from DRAM, decompress until the needed
+// block, respond, and migrate the page to ML1 in the background.
+func (m *MC) serveML2(now config.Time, st *pageState, ppn uint64, blockOff int, cteHit bool) config.Time {
+	m.Stats.ML2Reads++
+	t := now
+	if !cteHit {
+		t = m.dramOp(t, m.cteAddr(ppn), false)
+		m.Stats.CTEFetchesDRAM++
+		m.cte.Fill(ppn)
+	}
+	// Wait for a free migration-buffer entry (eight 4KB staging slots).
+	slot := 0
+	for i, busy := range m.migBuf {
+		if busy < m.migBuf[slot] {
+			slot = i
+		}
+	}
+	if m.migBuf[slot] > t {
+		t = m.migBuf[slot]
+	}
+
+	size, _ := m.cfg.Sizes.PageSizes(ppn)
+	blocks := m.ml2.BlockAddresses(st.sub, size)
+	// Issue the compressed-page reads while holding at most MaxQueueSlots
+	// MC queue slots at a time (Section VI): read i may issue once read
+	// i-slots has completed, keeping `slots` reads outstanding.
+	slots := m.cfg.Sys.Comp.MaxQueueSlots
+	if slots <= 0 {
+		slots = len(blocks)
+	}
+	window := make([]config.Time, slots)
+	var last config.Time
+	for i, a := range blocks {
+		issue := maxTime(t, window[i%slots])
+		last = m.dram.Read(issue, a)
+		window[i%slots] = last
+	}
+	// The decompressor starts once the first blocks arrive and the
+	// requested 64B block is ready after the half-page latency on average.
+	respond := maxTime(t, last) + m.cfg.ML2HalfPage
+
+	// Background migration to ML1.
+	chunk, ok := m.ml1.Pop()
+	if !ok {
+		m.evictOne(respond)
+		chunk, ok = m.ml1.Pop()
+		if !ok {
+			// No room: serve from ML2 without migrating.
+			return respond
+		}
+	}
+	m.ml2.Free(st.sub, size)
+	st.inML2 = false
+	st.chunk = chunk
+	m.ml1Size++
+	m.rec.Touch(ppn)
+	m.Stats.ML2ToML1++
+	// The page write-out occupies the staging slot and posts 64 writes,
+	// again holding at most MaxQueueSlots at a time.
+	wwin := make([]config.Time, slots)
+	wt := respond
+	for b := 0; b < 64; b++ {
+		issue := maxTime(respond, wwin[b%slots])
+		wt = m.dram.Write(issue, uint64(chunk)*4096+uint64(b*64))
+		wwin[b%slots] = wt
+	}
+	m.migBuf[slot] = wt
+	return respond
+}
+
+// Settle drives background eviction to steady state: evict cold pages
+// until the ML1 free list sits above the low watermark (the transient
+// after placement, where freshly carved super-chunks consume more chunks
+// than evictions return, would otherwise pollute the measured window).
+func (m *MC) Settle() {
+	if m.ml1 == nil {
+		return
+	}
+	for m.ml1.Len() < m.lowMark+64 {
+		if !m.evictOne(0) {
+			return
+		}
+	}
+}
+
+// maybeEvict keeps the ML1 free list above the low watermark, mirroring
+// Section VI's two-threshold policy. Demand work has priority, so a single
+// access triggers at most a couple of evictions.
+func (m *MC) maybeEvict(now config.Time) {
+	if m.ml1 == nil {
+		return
+	}
+	if m.ml1.Len() >= m.lowMark {
+		return
+	}
+	n := 1
+	if m.ml1.Len() < m.crit {
+		n = 4 // eviction outranks demand below the critical mark
+	}
+	for i := 0; i < n; i++ {
+		if !m.evictOne(now) {
+			return
+		}
+	}
+}
+
+// evictOne migrates the coldest ML1 page to ML2; returns false when no
+// eviction was possible.
+func (m *MC) evictOne(now config.Time) bool {
+	for {
+		ppn, ok := m.rec.EvictColdest()
+		if !ok {
+			return false
+		}
+		st := &m.pages[ppn]
+		if st.inML2 || !st.placed {
+			continue
+		}
+		size, _ := m.cfg.Sizes.PageSizes(ppn)
+		if size >= 4096 {
+			// Incompressible: retain in ML1, drop from the Recency List so
+			// we do not repeatedly recompress it (Section IV-B).
+			st.incompressible = true
+			m.Stats.IncompressSkips++
+			continue
+		}
+		sub, ok := m.ml2.Alloc(size)
+		if !ok {
+			return false
+		}
+		// Read the page (64 blocks) and write the compressed sub-chunk,
+		// each holding at most MaxQueueSlots queue entries.
+		slots := m.cfg.Sys.Comp.MaxQueueSlots
+		if slots <= 0 {
+			slots = 64
+		}
+		rwin := make([]config.Time, slots)
+		for b := 0; b < 64; b++ {
+			rwin[b%slots] = m.dram.Read(maxTime(now, rwin[b%slots]), m.dataAddr(st, b))
+		}
+		t := now + m.cfg.ML2Compress
+		wwin := make([]config.Time, slots)
+		for i, a := range m.ml2.BlockAddresses(sub, size) {
+			wwin[i%slots] = m.dram.Write(maxTime(t, wwin[i%slots]), a)
+		}
+		m.ml1.Push(st.chunk)
+		st.inML2 = true
+		st.sub = sub
+		m.ml1Size--
+		m.Stats.ML1ToML2++
+		return true
+	}
+}
+
+// dramOp wraps read/write with the MC<->LLC NoC latency on the response
+// path for reads.
+func (m *MC) dramOp(now config.Time, addr uint64, write bool) config.Time {
+	if write {
+		return m.dram.Write(now, addr)
+	}
+	return m.dram.Read(now, addr)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func maxTime(a, b config.Time) config.Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// StatsSnapshot copies the counters.
+func (m *MC) StatsSnapshot() Stats { return m.Stats }
+
+// ResetStats clears the MC and DRAM counters (end of warmup).
+func (m *MC) ResetStats() {
+	m.Stats = Stats{}
+	m.dram.ResetStats()
+}
+
+// CTECache exposes hit-rate counters for the experiments.
+func (m *MC) CTECache() *ctecache.Cache { return m.cte }
+
+// InML2 reports whether ppn currently lives compressed.
+func (m *MC) InML2(ppn uint64) bool { return m.pages[ppn].inML2 }
+
+// Placed reports whether ppn has a resident location.
+func (m *MC) Placed(ppn uint64) bool {
+	return ppn < uint64(len(m.pages)) && m.pages[ppn].placed
+}

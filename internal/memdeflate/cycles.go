@@ -1,0 +1,189 @@
+package memdeflate
+
+import "tmcc/internal/config"
+
+// Cycle model for the Figure 14 pipeline. All module rates come from
+// Section V-B4:
+//
+//   - LZ compress intake: 8 characters/cycle, with pipeline-hazard stalls
+//     that depend on the selected matches;
+//   - Select 15 Characters / Build Reduced Tree: up to 32 cycles each;
+//   - Write Reduced Tree: up to 16 cycles; Read Reduced Tree: 16 cycles;
+//   - Huffman Encode: up to 32 output bits/cycle, bounded by codes/cycle;
+//   - Huffman Decode: up to 8 codes or 32 bits per cycle;
+//   - LZ Decode: up to 8 B of plaintext per cycle, one copy per cycle.
+const (
+	lzIntakePerCycle   = 8
+	selectCycles       = 32
+	buildTreeCycles    = 32
+	writeTreeCycles    = 16
+	readTreeCycles     = 16
+	huffEncBitsCycle   = 32
+	huffEncCodesCycle  = 4 // encoder packs up to 4 codes into its 32-bit word
+	huffDecBitsCycle   = 32
+	huffDecCodesCycle  = 8
+	litGroupPerCycle   = 8 // LZ decode emits up to 8 literals per cycle
+	pipeFillCycles     = 12
+	accumulateHandoff  = 8 // Accumulate -> Replay logical transfer
+	matchStallFraction = 4 // one hazard bubble per matchStallFraction matches
+)
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// lzCompressCycles models the three LZ pipeline stages for one page.
+func lzCompressCycles(st PageStats) int {
+	intake := ceilDiv(st.LZ.InputBytes, lzIntakePerCycle)
+	stalls := st.LZ.Matches / matchStallFraction
+	return intake + stalls
+}
+
+// fullTreeBuildCycles models constructing and canonicalizing a
+// 256-symbol tree plus RLE-compressing its lengths: the general-purpose
+// setup cost the reduced tree eliminates (Section V-B1; IBM's T0).
+func fullTreeBuildCycles(st PageStats) int {
+	return st.FullLeaves*6 + ceilDiv(st.FullHeaderBits, 8)
+}
+
+// fullTreeRestoreCycles models the decompressor's serial canonical-tree
+// reconstruction: decode the RLE'd lengths one token per cycle, then
+// rebuild the canonical assignment.
+func fullTreeRestoreCycles(st PageStats) int {
+	return 256 + st.FullLeaves*4 + ceilDiv(st.FullHeaderBits, 8)
+}
+
+// huffCompressCycles models the Huffman half of the compressor (after
+// Replay) for one page.
+func huffCompressCycles(st PageStats) int {
+	if st.HuffSkipped {
+		return 0
+	}
+	codes := st.LZ.OutputBytes // one 8-bit character per LZ output byte
+	byBits := ceilDiv(st.Huff.OutputBits, huffEncBitsCycle)
+	byCodes := ceilDiv(codes, huffEncCodesCycle)
+	enc := byBits
+	if byCodes > enc {
+		enc = byCodes
+	}
+	if st.GeneralPurpose {
+		return fullTreeBuildCycles(st) + enc
+	}
+	return buildTreeCycles + writeTreeCycles + enc
+}
+
+// CompressCycles returns the full-page compression latency in cycles with
+// an empty pipeline (Table II "Latency" row).
+func CompressCycles(st PageStats) int {
+	return pipeFillCycles + lzCompressCycles(st) + selectCycles +
+		accumulateHandoff + huffCompressCycles(st)
+}
+
+// CompressorOccupancy returns the per-page cycle count of the slowest
+// compressor macro-stage. Because LZ (page 2) runs concurrently with
+// Huffman (page 1), sustained throughput is bounded by the slower of the
+// two, not by the end-to-end latency.
+func CompressorOccupancy(st PageStats) int {
+	a := lzCompressCycles(st) + selectCycles
+	b := accumulateHandoff + huffCompressCycles(st)
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// decodeCycles models the decompressor's steady pipeline for one page:
+// Huffman decode rate-bound by codes and bits, LZ decode bound by one copy
+// per cycle and 8 literals per cycle, the two stages overlapped.
+func decodeCycles(st PageStats) int {
+	var huff int
+	if !st.HuffSkipped && !st.Stored {
+		byBits := ceilDiv(st.Huff.OutputBits, huffDecBitsCycle)
+		byCodes := ceilDiv(st.LZ.OutputBytes+st.Huff.Escapes, huffDecCodesCycle)
+		huff = byBits
+		if byCodes > huff {
+			huff = byCodes
+		}
+	}
+	lzDec := st.LZ.CopyCycles + ceilDiv(st.LZ.Literals, litGroupPerCycle)
+	if huff > lzDec {
+		return huff
+	}
+	return lzDec
+}
+
+// treeReadCycles is the decompressor's setup: 16 cycles for the plain
+// reduced tree, or the full serial canonical restoration in
+// general-purpose mode.
+func treeReadCycles(st PageStats) int {
+	if st.HuffSkipped || st.Stored {
+		return 0
+	}
+	if st.GeneralPurpose {
+		return fullTreeRestoreCycles(st)
+	}
+	return readTreeCycles
+}
+
+// DecompressCycles returns the full-page decompression latency in cycles
+// (Table II "Latency").
+func DecompressCycles(st PageStats) int {
+	return treeReadCycles(st) + pipeFillCycles + decodeCycles(st)
+}
+
+// HalfPageCycles returns the average time to have decompressed a needed
+// 64B block: the block is uniformly distributed in the page, so on average
+// half the page must be produced (Table II "1/2-page Latency"). The setup
+// (tree) cost is paid in full either way — which is why the general-purpose
+// design's half-page latency barely improves on its full-page latency.
+func HalfPageCycles(st PageStats) int {
+	return treeReadCycles(st) + pipeFillCycles + decodeCycles(st)/2
+}
+
+// DecompressorOccupancy is the per-page cycle cost limiting decompressor
+// throughput; the tree read overlaps the previous page's drain.
+func DecompressorOccupancy(st PageStats) int { return decodeCycles(st) }
+
+// Timing converts the cycle model into wall-clock numbers for one page at
+// the codec's frequency.
+type Timing struct {
+	CompressLatency   config.Time
+	DecompressLatency config.Time
+	HalfPageLatency   config.Time
+	CompressorOcc     config.Time // per-page occupancy (throughput bound)
+	DecompressorOcc   config.Time
+}
+
+// Timing evaluates the cycle model for one page's stats.
+func (c *Codec) Timing(st PageStats) Timing {
+	cyc := func(n int) config.Time {
+		return config.Time(float64(n) * 1000.0 / c.p.FreqGHz)
+	}
+	return Timing{
+		CompressLatency:   cyc(CompressCycles(st)),
+		DecompressLatency: cyc(DecompressCycles(st)),
+		HalfPageLatency:   cyc(HalfPageCycles(st)),
+		CompressorOcc:     cyc(CompressorOccupancy(st)),
+		DecompressorOcc:   cyc(DecompressorOccupancy(st)),
+	}
+}
+
+// Synthesis carries the paper's Table I numbers. These are 7nm ASAP7
+// synthesis results (Synopsys DC at 0.7V, 2.5GHz) and cannot be reproduced
+// in software; they are reported as constants, clearly labeled in
+// EXPERIMENTS.md.
+type Synthesis struct {
+	Module  string
+	AreaMM2 float64
+	PowerMW float64
+}
+
+// TableI returns the paper's synthesis results for the complete unit and
+// its four modules.
+func TableI() []Synthesis {
+	return []Synthesis{
+		{"LZ Decompressor", 0.022, 100},
+		{"LZ Compressor", 0.060, 160},
+		{"Huffman Decompressor", 0.014, 27},
+		{"Huffman Compressor", 0.034, 160},
+		{"Complete Unit", 0.13, 447},
+	}
+}

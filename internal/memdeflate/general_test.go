@@ -1,0 +1,83 @@
+package memdeflate
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"tmcc/internal/content"
+)
+
+func gpCodec() *Codec {
+	p := DefaultParams()
+	p.GeneralPurpose = true
+	return New(p)
+}
+
+func TestGeneralPurposeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	c := gpCodec()
+	for a := content.Archetype(1); a < 11; a++ {
+		for i := 0; i < 10; i++ {
+			page := content.GeneratePage(a, rng)
+			enc, st, ok := c.Compress(page)
+			if !ok {
+				continue
+			}
+			if !st.GeneralPurpose || st.FullLeaves == 0 {
+				t.Fatalf("%v: general-purpose stats not populated: %+v", a, st)
+			}
+			dec, err := c.Decompress(enc)
+			if err != nil || !bytes.Equal(dec, page) {
+				t.Fatalf("%v: round trip failed: %v", a, err)
+			}
+		}
+	}
+}
+
+// The paper's central Deflate claim, demonstrated mechanically: the
+// general-purpose design (full canonical tree, compressed header) pays a
+// large serial setup on every independent page, so the memory-specialized
+// reduced tree decompresses several times faster at a small ratio cost.
+func TestGeneralPurposeSetupDominates(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	fast := New(DefaultParams())
+	slow := gpCodec()
+	var fastDec, slowDec, fastHalf, slowHalf int64
+	var fastSize, slowSize int
+	n := 0
+	for i := 0; i < 60; i++ {
+		page := content.GeneratePage(content.Archetype(1+rng.Intn(8)), rng)
+		_, fs, ok1 := fast.Compress(page)
+		_, ss, ok2 := slow.Compress(page)
+		if !ok1 || !ok2 {
+			continue
+		}
+		fastDec += int64(fast.Timing(fs).DecompressLatency)
+		slowDec += int64(slow.Timing(ss).DecompressLatency)
+		fastHalf += int64(fast.Timing(fs).HalfPageLatency)
+		slowHalf += int64(slow.Timing(ss).HalfPageLatency)
+		fastSize += fs.EncodedSize
+		slowSize += ss.EncodedSize
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no compressible pages")
+	}
+	if float64(slowDec)/float64(fastDec) < 1.5 {
+		t.Errorf("general-purpose decompress only %.2fx slower; tree setup not dominating",
+			float64(slowDec)/float64(fastDec))
+	}
+	// Half-page latency gap is even bigger: the setup cannot be amortized.
+	if float64(slowHalf)/float64(fastHalf) < 2 {
+		t.Errorf("half-page gap only %.2fx", float64(slowHalf)/float64(fastHalf))
+	}
+	// The ratio cost of the reduced tree is small (paper: ~1%).
+	if float64(fastSize) > float64(slowSize)*1.10 {
+		t.Errorf("reduced tree costs %.1f%% ratio, want small",
+			(float64(fastSize)/float64(slowSize)-1)*100)
+	}
+	t.Logf("decompress: gp %.0fns vs reduced %.0fns (%.1fx); sizes gp %d vs reduced %d",
+		float64(slowDec)/float64(n)/1000, float64(fastDec)/float64(n)/1000,
+		float64(slowDec)/float64(fastDec), slowSize/n, fastSize/n)
+}

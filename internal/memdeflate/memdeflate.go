@@ -1,0 +1,205 @@
+// Package memdeflate is the paper's memory-specialized ASIC Deflate
+// (Section V-B): the 1KB-CAM LZ stage (package lz) followed by the reduced
+// 16-leaf Huffman stage (package huffman), with the page-at-a-time pipeline
+// organization of Figure 14 (LZ and Huffman work concurrently on two
+// independent pages via the Accumulate/Replay buffers). It provides:
+//
+//   - a functional codec: Compress/Decompress round-trips 4KB pages
+//     bit-exactly (the paper's RTL functional-verification experiment);
+//   - a cycle model parameterized by the Figure 14 microarchitecture
+//     (8 B/cycle LZ intake, tree build/write/read constants, bounded
+//     Huffman encode/decode rates, 8 B/cycle LZ decode) at 2.5 GHz,
+//     regenerating Table II;
+//   - the synthesis constants of Table I (area/power cannot be measured
+//     without an ASIC flow; they are carried verbatim and labeled as such).
+//
+// Page encoding (the framing is our design; the paper fixes the stages):
+//
+//	byte 0            flags: bit0 = Huffman used, bit1 = stored (no LZ gain)
+//	bytes 1..2        LZ-output length, little endian
+//	if Huffman used:  plain tree header ++ Huffman bitstream over LZ bytes
+//	else:             raw LZ bytes
+//
+// Compress reports ok=false for pages whose encoding would not beat 4096
+// bytes; the memory controller stores those raw and sets the CTE's
+// isIncompressible bit.
+package memdeflate
+
+import (
+	"fmt"
+
+	"tmcc/internal/huffman"
+	"tmcc/internal/lz"
+)
+
+// PageSize is the unit this ASIC compresses.
+const PageSize = 4096
+
+const (
+	flagHuffman = 1 << 0
+	flagStored  = 1 << 1
+	flagFull    = 1 << 2 // general-purpose mode: full canonical tree
+)
+
+// Params selects the explored design-space point (Section V-B's tunables).
+type Params struct {
+	WindowSize   int  // LZ CAM size in bytes (256..4096; paper default 1024)
+	MaxTreeDepth int  // Huffman depth threshold (default 8)
+	DynamicSkip  bool // skip Huffman when it would expand (Section V-B1; +5% ratio)
+	OnePointOne  bool // IBM-style 1.1-pass approximate frequency counting (released HDL supports it; off by default)
+	// GeneralPurpose selects the design point the paper moves away from: a
+	// full canonical Huffman tree over all 256 symbols, shipped compressed
+	// (RLE'd code lengths). Ratio improves slightly; building and —
+	// critically — serially restoring the tree costs the long setup (T0)
+	// the paper identifies as IBM's bottleneck. The cycle model charges it.
+	GeneralPurpose bool
+	FreqGHz        float64
+}
+
+// DefaultParams is the configuration the paper converges on.
+func DefaultParams() Params {
+	return Params{
+		WindowSize:   lz.DefaultWindow,
+		MaxTreeDepth: huffman.DefaultMaxDepth,
+		DynamicSkip:  false,
+		FreqGHz:      2.5,
+	}
+}
+
+// Codec compresses and decompresses 4KB pages. Not safe for concurrent use;
+// each hardware module instance owns one.
+type Codec struct {
+	p  Params
+	lz *lz.Compressor
+}
+
+// New returns a Codec for the given parameters.
+func New(p Params) *Codec {
+	if p.WindowSize == 0 {
+		p.WindowSize = lz.DefaultWindow
+	}
+	if p.FreqGHz == 0 {
+		p.FreqGHz = 2.5
+	}
+	return &Codec{p: p, lz: lz.New(p.WindowSize)}
+}
+
+// PageStats describes one page's trip through the pipeline; it feeds both
+// the size accounting and the cycle model.
+type PageStats struct {
+	LZ          lz.Stats
+	Huff        huffman.Stats
+	HuffSkipped bool
+	Stored      bool
+	EncodedSize int
+	// General-purpose mode extras: the full tree's leaf count and header
+	// size drive the slow build/restore cycle costs.
+	GeneralPurpose bool
+	FullLeaves     int
+	FullHeaderBits int
+}
+
+// Compress encodes a page (must be PageSize bytes). ok=false means the page
+// is incompressible and should be stored raw.
+func (c *Codec) Compress(page []byte) (enc []byte, st PageStats, ok bool) {
+	if len(page) != PageSize {
+		panic(fmt.Sprintf("memdeflate: page must be %d bytes, got %d", PageSize, len(page)))
+	}
+	lzOut, lzStats := c.lz.Compress(nil, page)
+	st.LZ = lzStats
+
+	// Frequency analysis over the LZ output. The 1.1-pass option samples
+	// only the first segment (IBM's approximation); the default analyzes
+	// the whole (accumulated) output, which is what the Accumulate/Replay
+	// pair buys (Section V-B3).
+	sample := lzOut
+	if c.p.OnePointOne && len(sample) > 512 {
+		sample = sample[:512]
+	}
+	var header, huffOut []byte
+	var huffStats huffman.Stats
+	if c.p.GeneralPurpose {
+		table := huffman.AnalyzeFull(sample)
+		st.GeneralPurpose = true
+		st.FullLeaves = table.Leaves
+		hdrBody := table.AppendCompressedHeader(nil)
+		st.FullHeaderBits = len(hdrBody) * 8
+		header = make([]byte, 0, 3+len(hdrBody))
+		header = append(header, flagHuffman|flagFull, byte(len(lzOut)), byte(len(lzOut)>>8))
+		header = append(header, hdrBody...)
+		huffOut, huffStats = table.Encode(nil, lzOut)
+	} else {
+		table := huffman.Analyze(sample, c.p.MaxTreeDepth)
+		header = make([]byte, 0, 3+table.HeaderSize())
+		header = append(header, flagHuffman, byte(len(lzOut)), byte(len(lzOut)>>8))
+		header = table.AppendHeader(header)
+		huffOut, huffStats = table.Encode(nil, lzOut)
+	}
+	st.Huff = huffStats
+
+	useHuffman := true
+	if c.p.DynamicSkip && len(header)+len(huffOut) >= 3+len(lzOut) {
+		useHuffman = false
+		st.HuffSkipped = true
+	}
+	if useHuffman {
+		enc = append(header, huffOut...)
+	} else {
+		enc = make([]byte, 0, 3+len(lzOut))
+		enc = append(enc, 0, byte(len(lzOut)), byte(len(lzOut)>>8))
+		enc = append(enc, lzOut...)
+	}
+	st.EncodedSize = len(enc)
+	if len(enc) >= PageSize {
+		st.Stored = true
+		st.EncodedSize = PageSize
+		return nil, st, false
+	}
+	return enc, st, true
+}
+
+// CompressedSize returns only the encoded size (PageSize when
+// incompressible), avoiding the allocation of the full encoding.
+func (c *Codec) CompressedSize(page []byte) (int, PageStats) {
+	_, st, _ := c.Compress(page)
+	return st.EncodedSize, st
+}
+
+// Decompress inverts Compress.
+func (c *Codec) Decompress(enc []byte) ([]byte, error) {
+	if len(enc) < 3 {
+		return nil, fmt.Errorf("memdeflate: short encoding")
+	}
+	flags := enc[0]
+	lzLen := int(enc[1]) | int(enc[2])<<8
+	body := enc[3:]
+	var lzOut []byte
+	if flags&flagFull != 0 {
+		table, n, err := huffman.ParseCompressedHeader(body)
+		if err != nil {
+			return nil, err
+		}
+		lzOut, err = table.Decode(body[n:], lzLen)
+		if err != nil {
+			return nil, err
+		}
+	} else if flags&flagHuffman != 0 {
+		table, n, err := huffman.ParseHeader(body)
+		if err != nil {
+			return nil, err
+		}
+		lzOut, err = table.Decode(body[n:], lzLen)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		if len(body) < lzLen {
+			return nil, fmt.Errorf("memdeflate: truncated LZ body")
+		}
+		lzOut = body[:lzLen]
+	}
+	return lz.Decompress(lzOut, PageSize, c.p.WindowSize)
+}
+
+// Params returns the codec's configuration.
+func (c *Codec) Params() Params { return c.p }

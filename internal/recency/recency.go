@@ -1,0 +1,129 @@
+// Package recency implements ML1's Recency List (Section IV-B): a doubly
+// linked list over the pages stored in ML1, hottest at the head, coldest at
+// the tail. The hardware updates it for a sampled 1% of ML1 accesses (the
+// sampling decision belongs to the caller); eviction victims come from the
+// cold end. Incompressible pages are removed so ML1 does not repeatedly try
+// to compress them, and are re-inserted with small probability after a
+// writeback (also the caller's sampling decision, via Reinsert).
+//
+// Unlike the free lists, these pointers cannot ride in free space — the
+// paper charges 0.4% of DRAM for them; Overhead reports that.
+package recency
+
+// List is an intrusive doubly linked list keyed by physical page number.
+type List struct {
+	next map[uint64]uint64
+	prev map[uint64]uint64
+	head uint64
+	tail uint64
+	n    int
+}
+
+const nilPPN = ^uint64(0)
+
+// New returns an empty list.
+func New() *List {
+	return &List{
+		next: make(map[uint64]uint64),
+		prev: make(map[uint64]uint64),
+		head: nilPPN,
+		tail: nilPPN,
+	}
+}
+
+// Len reports tracked pages.
+func (l *List) Len() int { return l.n }
+
+// Contains reports whether ppn is tracked.
+func (l *List) Contains(ppn uint64) bool {
+	_, ok := l.next[ppn]
+	return ok
+}
+
+// Touch moves ppn to the hot end, inserting it if absent.
+func (l *List) Touch(ppn uint64) {
+	if l.Contains(ppn) {
+		l.unlink(ppn)
+	} else {
+		l.n++
+	}
+	l.pushHead(ppn)
+}
+
+// Remove drops ppn from the list (page migrated away or marked
+// incompressible).
+func (l *List) Remove(ppn uint64) {
+	if !l.Contains(ppn) {
+		return
+	}
+	l.unlink(ppn)
+	delete(l.next, ppn)
+	delete(l.prev, ppn)
+	l.n--
+}
+
+// Coldest returns the tail without removing it; ok=false when empty.
+func (l *List) Coldest() (uint64, bool) {
+	if l.tail == nilPPN {
+		return 0, false
+	}
+	return l.tail, true
+}
+
+// EvictColdest removes and returns the tail.
+func (l *List) EvictColdest() (uint64, bool) {
+	ppn, ok := l.Coldest()
+	if !ok {
+		return 0, false
+	}
+	l.Remove(ppn)
+	return ppn, true
+}
+
+// InsertCold adds ppn at the cold end (used when re-inserting formerly
+// incompressible pages after a writeback: they should be eviction
+// candidates soon, not hot).
+func (l *List) InsertCold(ppn uint64) {
+	if l.Contains(ppn) {
+		return
+	}
+	l.n++
+	if l.tail == nilPPN {
+		l.pushHead(ppn)
+		return
+	}
+	l.next[l.tail] = ppn
+	l.prev[ppn] = l.tail
+	l.next[ppn] = nilPPN
+	l.tail = ppn
+}
+
+func (l *List) pushHead(ppn uint64) {
+	l.prev[ppn] = nilPPN
+	l.next[ppn] = l.head
+	if l.head != nilPPN {
+		l.prev[l.head] = ppn
+	}
+	l.head = ppn
+	if l.tail == nilPPN {
+		l.tail = ppn
+	}
+}
+
+func (l *List) unlink(ppn uint64) {
+	p, n := l.prev[ppn], l.next[ppn]
+	if p != nilPPN {
+		l.next[p] = n
+	} else {
+		l.head = n
+	}
+	if n != nilPPN {
+		l.prev[n] = p
+	} else {
+		l.tail = p
+	}
+}
+
+// OverheadBytes models the hardware cost: two pointers plus a PPN per
+// tracked ML1 page (the paper reports 0.4% of DRAM).
+func (l *List) OverheadBytes() int64 { return int64(l.n) * 16 }

@@ -1,0 +1,124 @@
+package recency
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTouchAndEvict(t *testing.T) {
+	l := New()
+	l.Touch(1)
+	l.Touch(2)
+	l.Touch(3) // hottest
+	if ppn, ok := l.Coldest(); !ok || ppn != 1 {
+		t.Fatalf("coldest = %d %v, want 1", ppn, ok)
+	}
+	l.Touch(1) // 1 becomes hottest; 2 is now coldest
+	if ppn, _ := l.EvictColdest(); ppn != 2 {
+		t.Fatalf("evicted %d, want 2", ppn)
+	}
+	if l.Len() != 2 {
+		t.Errorf("len = %d", l.Len())
+	}
+}
+
+func TestRemoveMiddle(t *testing.T) {
+	l := New()
+	for p := uint64(1); p <= 5; p++ {
+		l.Touch(p)
+	}
+	l.Remove(3)
+	if l.Contains(3) || l.Len() != 4 {
+		t.Fatal("remove failed")
+	}
+	// Drain and check order: 1,2,4,5 cold to hot.
+	want := []uint64{1, 2, 4, 5}
+	for _, w := range want {
+		if got, _ := l.EvictColdest(); got != w {
+			t.Fatalf("drain got %d, want %d", got, w)
+		}
+	}
+	if _, ok := l.EvictColdest(); ok {
+		t.Error("drain from empty succeeded")
+	}
+}
+
+func TestInsertCold(t *testing.T) {
+	l := New()
+	l.Touch(10)
+	l.Touch(20)
+	l.InsertCold(5)
+	if ppn, _ := l.Coldest(); ppn != 5 {
+		t.Fatalf("coldest = %d, want 5", ppn)
+	}
+	// InsertCold on existing is a no-op.
+	l.InsertCold(20)
+	if l.Len() != 3 {
+		t.Errorf("len = %d after duplicate InsertCold", l.Len())
+	}
+}
+
+func TestEmptyOps(t *testing.T) {
+	l := New()
+	l.Remove(1) // no-op
+	if _, ok := l.Coldest(); ok {
+		t.Error("coldest on empty")
+	}
+	l.InsertCold(7)
+	if ppn, _ := l.Coldest(); ppn != 7 {
+		t.Error("InsertCold into empty failed")
+	}
+}
+
+func TestOverhead(t *testing.T) {
+	l := New()
+	for p := uint64(0); p < 100; p++ {
+		l.Touch(p)
+	}
+	if l.OverheadBytes() != 1600 {
+		t.Errorf("overhead = %d", l.OverheadBytes())
+	}
+}
+
+// Property: after any operation sequence the list length matches the set of
+// tracked pages and drain order has no duplicates.
+func TestQuickConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := New()
+		ref := map[uint64]bool{}
+		for i := 0; i < 500; i++ {
+			p := uint64(rng.Intn(50))
+			switch rng.Intn(4) {
+			case 0, 1:
+				l.Touch(p)
+				ref[p] = true
+			case 2:
+				l.Remove(p)
+				delete(ref, p)
+			case 3:
+				l.InsertCold(p)
+				ref[p] = true
+			}
+		}
+		if l.Len() != len(ref) {
+			return false
+		}
+		seen := map[uint64]bool{}
+		for {
+			p, ok := l.EvictColdest()
+			if !ok {
+				break
+			}
+			if seen[p] || !ref[p] {
+				return false
+			}
+			seen[p] = true
+		}
+		return len(seen) == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,318 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tmcc/internal/cache"
+	"tmcc/internal/config"
+	"tmcc/internal/ctecache"
+	"tmcc/internal/freelist"
+	"tmcc/internal/ibmdeflate"
+	"tmcc/internal/mc"
+	"tmcc/internal/memdeflate"
+	"tmcc/internal/pagetable"
+	"tmcc/internal/ptbcomp"
+	"tmcc/internal/tlb"
+	"tmcc/internal/workload"
+)
+
+// Plan describes the capacity layout the planner derived for a run.
+type Plan struct {
+	FootprintPages uint64
+	BudgetPages    uint64 // DRAM frames the design uses
+	OSPages        uint64
+	ML1Pages       uint64 // pages initially resident uncompressed
+	ML2Pages       uint64 // pages initially compressed
+}
+
+// CompressoBudgetPages computes Compresso's natural DRAM usage for a
+// benchmark: block-compressed pages in 512B chunks plus the 64B-per-page
+// metadata table over the OS physical space (Table IV column B).
+func CompressoBudgetPages(footprint uint64, sizes *workload.SizeModel) uint64 {
+	data := uint64(float64(footprint)*sizes.MeanCompressoPageBytes()/4096) + 1
+	// OS physical space is 4x the budget; solve usage = data + os*64/4096
+	// with os = 4*usage: usage = data / (1 - 4*64/4096).
+	usage := float64(data) / (1 - 4*64.0/4096)
+	return uint64(usage) + 1
+}
+
+// NewRunner builds a complete simulated system for the options.
+func NewRunner(opt Options) (*Runner, error) {
+	spec, ok := workload.SpecFor(opt.Benchmark)
+	if !ok {
+		return nil, fmt.Errorf("sim: unknown benchmark %q", opt.Benchmark)
+	}
+	sys := opt.Sys
+	if sys.CPU.Cores == 0 {
+		sys = config.Default()
+	}
+	sizes, err := workload.NewSizeModel(opt.Benchmark, 256, opt.Seed, memdeflate.DefaultParams())
+	if err != nil {
+		return nil, err
+	}
+
+	budget := opt.BudgetPages
+	if budget == 0 {
+		budget = CompressoBudgetPages(spec.FootprintPages, sizes)
+	}
+	if opt.Kind == mc.Uncompressed {
+		budget = spec.FootprintPages + spec.FootprintPages/256 + 64
+	}
+	osPages := budget * uint64(sys.Comp.OSExpansion)
+	if min := spec.FootprintPages + spec.FootprintPages/64 + 1024; osPages < min {
+		osPages = min
+	}
+
+	// Build the address space (data pages + the page table itself).
+	osCfg := pagetable.DefaultOSConfig(opt.Seed)
+	osCfg.HugePages = opt.HugePages
+	var as *pagetable.AddressSpace
+	if !opt.Virtualized {
+		as = pagetable.BuildAddressSpace(spec.FootprintPages, osPages, osCfg)
+	}
+	if opt.HugePages {
+		// Section VIII: a huge-page PTB covers 16MB; its CTEs cannot fit,
+		// so TMCC's ML1 optimization is ineffective (ML2 still applies).
+		opt.DisableEmbed = true
+	}
+
+	// ML2 codec timing: measured fast-Deflate means for TMCC, the IBM
+	// analytic model for the bare-bone OS-inspired design.
+	half, comp := opt.ML2HalfPage, opt.ML2Compress
+	if half == 0 {
+		if opt.Kind == mc.TMCC {
+			half = config.Time(sizes.MeanHalfPagePS)
+			comp = config.Time(sizes.MeanCompressPS)
+		} else {
+			m := ibmdeflate.Default()
+			half = m.HalfPageLatency(4096)
+			comp = m.CompressLatency(4096)
+		}
+	}
+
+	if opt.Virtualized {
+		// The host pool must cover every guest-physical page.
+		if min := spec.FootprintPages + spec.FootprintPages/32 + 4096; osPages < min {
+			osPages = min
+		}
+	}
+	mcc := mc.New(mc.Config{
+		Kind:         opt.Kind,
+		Sys:          sys,
+		BudgetPages:  budget,
+		OSPages:      osPages,
+		Sizes:        sizes,
+		ML2HalfPage:  half,
+		ML2Compress:  comp,
+		Seed:         opt.Seed,
+		CTEOverride:  opt.CTEOverride,
+		VictimShadow: opt.VictimShadow,
+	})
+
+	r := &Runner{
+		opt:   opt,
+		sys:   sys,
+		spec:  spec,
+		as:    as,
+		sizes: sizes,
+		mcc:   mcc,
+		l3:    cache.New(sys.Cache.L3SizeMB*config.MiB, sys.Cache.Assoc*2),
+		ptbs:  make(map[uint64]*ptbState),
+		rng:   rand.New(rand.NewSource(opt.Seed + 77)),
+		cycle: sys.CPU.Cycle(),
+		noc:   sys.DRAM.NoCLatency,
+	}
+	r.pcfg = ptbcomp.NewConfig(osPages*4096, uint64(sys.Comp.DRAMPerMCTB)<<40)
+
+	if opt.Virtualized {
+		buildVirt(r, osPages, opt.Seed)
+	}
+	vbase := r.traceVBase()
+	for i := 0; i < sys.CPU.Cores; i++ {
+		c := &core{
+			id:       i,
+			trace:    workload.NewTrace(spec, vbase, opt.Seed+int64(i)*101),
+			tlb:      tlb.New(sys.CPU.TLBEntries, sys.CPU.TLBAssoc),
+			wc:       tlb.NewWalkCache(sys.CPU.WalkCacheKB * config.KiB),
+			l1:       cache.New(sys.Cache.L1SizeKB*config.KiB/2, sys.Cache.Assoc),
+			l2:       cache.New(sys.Cache.L2SizeKB*config.KiB, sys.Cache.Assoc),
+			buf:      ctecache.NewBuffer(sys.Comp.CTEBufEntries),
+			gwc:      tlb.New(512, 8),
+			mshr:     make([]config.Time, sys.CPU.MaxMisses),
+			stride:   cache.NewStride(sys.Cache.StrideDegreeL2),
+			throttle: cache.NewThrottle(256),
+		}
+		r.cores = append(r.cores, c)
+	}
+
+	if opt.Virtualized {
+		if err := r.placeVirt(); err != nil {
+			return nil, err
+		}
+	} else if err := r.place(budget, sizes); err != nil {
+		return nil, err
+	}
+	// Drive background eviction to steady state before any simulated time
+	// elapses (the paper's long atomic warmup does the same).
+	mcc.Settle()
+	if opt.Kind == mc.TMCC && !opt.DisableEmbed {
+		r.warmEmbeddings()
+	}
+	return r, nil
+}
+
+// warmEmbeddings mirrors the paper's warmup phase, which explicitly warms
+// "ML1, ML2, and embedded CTEs in compressed PTBs" with at least a second
+// of atomic simulation: every compressible PTB gets the current truncated
+// CTEs of the pages it points to.
+func (r *Runner) warmEmbeddings() {
+	r.as.Table.PTBs(func(b pagetable.PTB) {
+		st := r.ptbState(b.Addr)
+		if !st.compressible {
+			return
+		}
+		max := r.pcfg.MaxEmbeddable()
+		for i, pte := range b.PTEs {
+			if i >= max || pte&pagetable.FlagPresent == 0 {
+				continue
+			}
+			ppn := pagetable.PPN(pte)
+			if !r.mcc.Placed(ppn) {
+				continue
+			}
+			st.entries[i] = r.mcc.CurrentCTE(ppn)
+			st.hasCTE[i] = true
+		}
+	})
+}
+
+// place performs the warmup placement: compress and pack content into the
+// budget, hottest pages resident in ML1 (Section VI: "fetch all of the
+// benchmark's memory values to place, compress, and pack them into
+// available memory").
+func (r *Runner) place(budget uint64, sizes *workload.SizeModel) error {
+	lo, hi := r.as.VPNRange()
+	footprint := hi - lo
+
+	if r.opt.Kind == mc.Uncompressed || r.opt.Kind == mc.Compresso {
+		for vpn := lo; vpn < hi; vpn++ {
+			if ppn, ok := r.as.Table.Lookup(vpn); ok {
+				r.mcc.Place(ppn, false)
+			}
+		}
+		return nil
+	}
+
+	ml1Pages, err := r.planML1(footprint)
+	if err != nil {
+		return err
+	}
+	order := r.placementOrder(lo, footprint)
+	for i, vpn := range order {
+		ppn, ok := r.as.Table.Lookup(vpn)
+		if !ok {
+			continue
+		}
+		r.mcc.Place(ppn, uint64(i) >= ml1Pages)
+	}
+	// Page-table pages are hot (every walk touches them): resident in ML1
+	// from the start, so no placement churn pollutes the measured window.
+	tablePPNs := r.as.Table.TablePagePPNs()
+	for _, ppn := range tablePPNs {
+		r.mcc.Place(ppn, false)
+	}
+	// Seed the Recency List coldest-to-hottest so warmup evictions take
+	// genuinely cold pages, not the hot set; table pages go last (hottest).
+	for i := len(order) - 1; i >= 0; i-- {
+		if ppn, ok := r.as.Table.Lookup(order[i]); ok {
+			r.mcc.TouchPage(ppn)
+		}
+	}
+	for _, ppn := range tablePPNs {
+		r.mcc.TouchPage(ppn)
+	}
+	return nil
+}
+
+// planML1 computes how many pages fit uncompressed in ML1 under the
+// budget: the per-page ML2 cost uses the real size-class menu (class
+// rounding costs ~9%), plus a small allowance for partially-filled
+// super-chunks.
+func (r *Runner) planML1(footprint uint64) (uint64, error) {
+	classes := freelist.DefaultClasses()
+	classFor := func(size int) (int, bool) {
+		for _, c := range classes {
+			if c.SubSize >= size {
+				return c.SubSize, true
+			}
+		}
+		return 0, false
+	}
+	ratio := r.sizes.MeanML2ChunkFraction(classFor) * 1.02
+	tableReserve := uint64(r.as.Table.TablePages()) + 16
+	freeReserve := uint64(r.mcc.LowMark()) + 64
+	avail := int64(r.mcc.ChunkPool()) - int64(tableReserve) - int64(freeReserve)
+	ml1 := (float64(avail) - float64(footprint)*ratio) / (1 - ratio)
+	if ml1 < 0 {
+		return 0, fmt.Errorf("sim: budget cannot hold footprint %d even fully compressed", footprint)
+	}
+	ml1Pages := uint64(ml1)
+	if ml1Pages > footprint {
+		ml1Pages = footprint
+	}
+	return ml1Pages, nil
+}
+
+// placementOrder lists the footprint's virtual pages hottest-first: the
+// trace's hot clusters, then the leading (warm) remainder.
+func (r *Runner) placementOrder(lo, footprint uint64) []uint64 {
+	placed := make(map[uint64]bool, footprint)
+	var order []uint64
+	const cluster = 8
+	nClusters := r.spec.HotPages / cluster
+	if nClusters == 0 {
+		nClusters = 1
+	}
+	stride := footprint / nClusters
+	if stride < cluster {
+		stride = cluster
+	}
+	for c := uint64(0); c < nClusters; c++ {
+		for j := uint64(0); j < cluster; j++ {
+			vpn := lo + (c*stride+j)%footprint
+			if !placed[vpn] {
+				placed[vpn] = true
+				order = append(order, vpn)
+			}
+		}
+	}
+	for vpn := lo; vpn < lo+footprint; vpn++ {
+		if !placed[vpn] {
+			order = append(order, vpn)
+		}
+	}
+	return order
+}
+
+// traceVBase is the first guest-virtual page the traces touch.
+func (r *Runner) traceVBase() uint64 {
+	if r.guest != nil {
+		return r.guest.VBase
+	}
+	return r.as.VBase
+}
+
+// CompressoBudget exposes the planner's Compresso-usage computation for a
+// benchmark (Table IV column B), in 4KB frames.
+func CompressoBudget(benchmark string, seed int64) uint64 {
+	spec, ok := workload.SpecFor(benchmark)
+	if !ok {
+		return 0
+	}
+	sizes, err := workload.NewSizeModel(benchmark, 256, seed, memdeflate.DefaultParams())
+	if err != nil {
+		return 0
+	}
+	return CompressoBudgetPages(spec.FootprintPages, sizes)
+}

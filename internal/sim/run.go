@@ -1,0 +1,390 @@
+package sim
+
+import (
+	"tmcc/internal/cache"
+	"tmcc/internal/config"
+	"tmcc/internal/cte"
+	"tmcc/internal/ctecache"
+	"tmcc/internal/mc"
+	"tmcc/internal/workload"
+)
+
+// FlagPrefetched marks lines brought in by a prefetcher (for the
+// automatic-turn-off accuracy accounting).
+const flagPrefetched = cache.FlagCompressedPTB << 1
+
+// Run executes warmup then measurement and returns the metrics.
+func (r *Runner) Run() Metrics {
+	r.recording = false
+	r.runAccesses(r.opt.WarmupAccesses)
+	r.resetStats()
+	r.recording = true
+	start := r.maxCoreTime()
+	r.runAccesses(r.opt.MeasureAccesses)
+	end := r.maxCoreTime()
+
+	r.m.Elapsed = end - start
+	r.m.Cycles = uint64(r.m.Elapsed / r.cycle)
+	r.m.MC = r.mcc.StatsSnapshot()
+	r.m.Used = r.mcc.UsedPages()
+	d := r.mcc.DRAM()
+	r.m.DRAMReads = d.Stats.Reads
+	r.m.DRAMWrites = d.Stats.Writes
+	r.m.BusUtilization = d.BusUtilization(r.m.Elapsed)
+	r.m.RowHitRate = d.RowHitRate()
+	return r.m
+}
+
+func (r *Runner) maxCoreTime() config.Time {
+	var t config.Time
+	for _, c := range r.cores {
+		if c.time > t {
+			t = c.time
+		}
+	}
+	return t
+}
+
+func (r *Runner) resetStats() {
+	r.m = Metrics{}
+	r.mcc.ResetStats()
+	// Align cores so the measured window starts together.
+	t := r.maxCoreTime()
+	for _, c := range r.cores {
+		c.time = t
+	}
+}
+
+func (r *Runner) runAccesses(n int) {
+	for i := 0; i < n; i++ {
+		// Pick the core with the earliest clock (multi-core interleave).
+		c := r.cores[0]
+		for _, cc := range r.cores[1:] {
+			if cc.time < c.time {
+				c = cc
+			}
+		}
+		r.step(c)
+	}
+}
+
+// step executes one trace record on core c.
+func (r *Runner) step(c *core) {
+	a := c.trace.Next()
+	// Non-memory instructions retire at the issue width.
+	c.time += config.Time(a.Gap) * r.cycle / config.Time(r.sys.CPU.Width)
+	if r.recording {
+		r.m.Instructions += uint64(a.Gap) + 1
+		r.m.MemAccesses++
+		if a.Write {
+			r.m.Stores++
+		}
+	}
+
+	issue := c.time
+	// Outstanding-miss window: the slot used MaxMisses accesses ago must
+	// have drained.
+	if c.mshr[c.next] > issue {
+		issue = c.mshr[c.next]
+	}
+	// Dependent accesses (pointer chases, neighbor walks) wait for the
+	// load that produced their address.
+	if a.Dep && c.dep > issue {
+		issue = c.dep
+	}
+
+	vpn := a.VAddr >> 12
+	blockOff := int(a.VAddr>>6) & 63
+	t := issue
+	walkRelated := false
+
+	if !c.tlb.Lookup(vpn) {
+		walkRelated = true
+		if r.recording {
+			r.m.TLBMisses++
+			r.m.Walks++
+		}
+		if r.opt.Virtualized {
+			t, _, _ = r.walk2D(c, t, vpn)
+		} else {
+			t = r.walk(c, t, vpn)
+			c.wc.FillFromWalk(vpn)
+		}
+		c.tlb.Insert(vpn)
+	}
+
+	var ppn uint64
+	var ok bool
+	if r.opt.Virtualized {
+		ppn, ok = r.lookupVirtData(vpn)
+	} else {
+		ppn, ok = r.as.Table.Lookup(vpn)
+	}
+	if !ok {
+		// Unmapped (should not happen): skip.
+		c.time = t
+		return
+	}
+	block := ppn*64 + uint64(blockOff)
+	done := r.memAccess(c, t, block, a.Write, false, walkRelated)
+	if a.Dep {
+		c.dep = done
+	}
+
+	// Loads block the window; stores drain via the store buffer but still
+	// occupy the miss register.
+	c.mshr[c.next] = done
+	c.next = (c.next + 1) % len(c.mshr)
+	// The core advances past the issue point; it only stalls when the
+	// window fills (handled above through mshr).
+	c.time = issue + r.cycle
+}
+
+// walk performs the page walk for vpn, fetching PTBs through the hierarchy
+// serially; returns the completion time.
+func (r *Runner) walk(c *core, t config.Time, vpn uint64) config.Time {
+	startLevel := c.wc.WalkStart(vpn)
+	steps, _, ok := r.as.Table.Walk(vpn)
+	if !ok {
+		return t
+	}
+	for _, s := range steps {
+		if s.Level > startLevel {
+			continue
+		}
+		if r.recording {
+			r.m.WalkRefs++
+		}
+		block := s.PTBAddr / 64
+		t = r.memAccess(c, t, block, false, true, true)
+		if r.opt.Kind == mc.TMCC && !r.opt.DisableEmbed {
+			r.loadCTEBuffer(c, s.PTBAddr)
+		}
+	}
+	return t
+}
+
+// memAccess sends one 64B access through L1/L2/L3/MC and returns when the
+// data is available to the requester.
+func (r *Runner) memAccess(c *core, t config.Time, block uint64, write, isPTB, walkRelated bool) config.Time {
+	l1Lat := config.Time(r.sys.Cache.L1Cycles) * r.cycle
+	l2Lat := l1Lat + config.Time(r.sys.Cache.L2Cycles)*r.cycle
+	l3Lat := l2Lat + config.Time(r.sys.Cache.L3Cycles)*r.cycle
+
+	if !isPTB {
+		if c.l1.Access(block) {
+			if write {
+				c.l1.OrFlags(block, cache.FlagDirty)
+				c.l2.OrFlags(block, cache.FlagDirty)
+			}
+			return t + l1Lat
+		}
+	}
+	if c.l2.Access(block) {
+		if f, _ := c.l2.Flags(block); f&flagPrefetched != 0 {
+			c.throttle.Useful()
+			c.l2.SetFlags(block, f&^flagPrefetched)
+		}
+		if write {
+			c.l2.OrFlags(block, cache.FlagDirty)
+		}
+		r.fillL1(c, block, write, isPTB)
+		return t + l2Lat
+	}
+	if r.l3.Access(block) {
+		// Exclusive L3: promote to L2.
+		f, _ := r.l3.Invalidate(block)
+		r.insertL2(c, block, f, write, isPTB, t)
+		r.fillL1(c, block, write, isPTB)
+		return t + l3Lat
+	}
+
+	// LLC miss: go to the MC over the NoC.
+	if r.recording {
+		r.m.LLCMisses++
+	}
+	ppn := block / 64
+	off := int(block % 64)
+
+	var embedded *cte.Entry
+	if r.opt.Kind == mc.TMCC && !r.opt.DisableEmbed {
+		if e, ok := c.buf.Lookup(ppn); ok && e.HasCTE {
+			embedded = &cte.Entry{DRAMPage: e.CTE}
+		}
+	}
+	res := r.mcc.Access(t, ppn, off, false, embedded, walkRelated)
+	done := res.Done + r.noc
+	if r.recording {
+		r.m.L3MissLatencySum += done - t
+		ns := int((done - t) / config.Nanosecond)
+		for i, ub := range LatHistBounds {
+			if ns < ub {
+				r.m.LatHist[i]++
+				break
+			}
+		}
+		if done-t > 500*config.Nanosecond {
+			r.m.SlowMisses++
+			r.m.SlowMissSum += done - t
+			if done-t > r.m.SlowMax {
+				r.m.SlowMax = done - t
+			}
+			if res.Tag == mc.TagML2 {
+				r.m.SlowML2++
+			}
+			if isPTB {
+				r.m.SlowPTB++
+			}
+
+		}
+	}
+
+	// Piggyback the correct CTE back to L2 (Section V-A3): refresh the CTE
+	// Buffer and lazily repair the PTB's embedded copy.
+	if r.opt.Kind == mc.TMCC && !r.opt.DisableEmbed {
+		correct := r.mcc.CurrentCTE(ppn)
+		if ptbAddr, present, stale := c.buf.Update(ppn, correct.Truncated(r.pcfg.CTEBits)); present && stale {
+			r.repairPTB(ptbAddr, ppn, correct)
+		}
+	}
+
+	r.insertL2(c, block, 0, write, isPTB, t)
+	r.fillL1(c, block, write, isPTB)
+	r.prefetch(c, t, block)
+	return done
+}
+
+// fillL1 caches the block in L1 for demand accesses.
+func (r *Runner) fillL1(c *core, block uint64, write, isPTB bool) {
+	if isPTB {
+		return // walker data stays out of L1
+	}
+	var f uint8
+	if write {
+		f = cache.FlagDirty
+	}
+	c.l1.Insert(block, f)
+	if write {
+		c.l2.OrFlags(block, cache.FlagDirty)
+	}
+}
+
+// insertL2 fills a block into L2, spilling the victim into the exclusive
+// L3 and writing back dirty L3 victims through the MC.
+func (r *Runner) insertL2(c *core, block uint64, flags uint8, write, isPTB bool, now config.Time) {
+	if write {
+		flags |= cache.FlagDirty
+	}
+	if isPTB && r.opt.Kind == mc.TMCC {
+		// L2 re-compresses PTB lines fetched for the walker (Section
+		// V-A4): the line carries the "new data bit".
+		flags |= cache.FlagCompressedPTB
+	}
+	v := c.l2.Insert(block, flags)
+	if v.Valid {
+		lv := r.l3.Insert(v.Block, v.Flags)
+		if lv.Valid && lv.Flags&cache.FlagDirty != 0 {
+			r.writeback(lv.Block, now)
+		}
+	}
+}
+
+// writeback posts a dirty-line write to the MC; writes also consume CTE
+// translations (Section III: all regular requests need CTEs).
+func (r *Runner) writeback(block uint64, now config.Time) {
+	if r.recording {
+		r.m.Writebacks++
+	}
+	r.mcc.Access(now, block/64, int(block%64), true, nil, false)
+}
+
+// prefetch runs the L2 next-line and stride prefetchers on a demand miss.
+func (r *Runner) prefetch(c *core, now config.Time, block uint64) {
+	if !r.sys.Cache.NextLinePrefetch || !c.throttle.Enabled() {
+		c.stride.Observe(block)
+		return
+	}
+	cands := []uint64{cache.NextLine(block)}
+	cands = append(cands, c.stride.Observe(block)...)
+	for _, nb := range cands {
+		if nb/64 != block/64 {
+			continue // stay within the page: no extra translation
+		}
+		if c.l2.Probe(nb) || r.l3.Probe(nb) {
+			continue
+		}
+		c.throttle.Issued()
+		r.mcc.Access(now, nb/64, int(nb%64), false, nil, false)
+		r.insertL2(c, nb, flagPrefetched, false, false, now)
+	}
+}
+
+// loadCTEBuffer copies the embedded CTEs of a fetched PTB into the core's
+// CTE Buffer (Figure 10).
+func (r *Runner) loadCTEBuffer(c *core, ptbAddr uint64) {
+	st := r.ptbState(ptbAddr)
+	if !st.compressible {
+		return
+	}
+	ptes, ok := r.as.Table.PTBByAddr(ptbAddr)
+	if !ok {
+		return
+	}
+	max := r.pcfg.MaxEmbeddable()
+	for i, pte := range ptes {
+		if pte&1 == 0 { // not present
+			continue
+		}
+		e := ctecache.BufEntry{PPN: pteePPN(pte), PTBAddr: ptbAddr}
+		if i < max && st.hasCTE[i] {
+			e.CTE = st.entries[i].Truncated(r.pcfg.CTEBits)
+			e.HasCTE = true
+		}
+		c.buf.Insert(e)
+	}
+}
+
+// ptbState lazily builds the hardware view of a PTB: compressibility and
+// (initially empty) embedded-CTE slots. PTBs are compressed when the page
+// walker first pulls them through L2 (Section V-A4).
+func (r *Runner) ptbState(ptbAddr uint64) *ptbState {
+	if st, ok := r.ptbs[ptbAddr]; ok {
+		return st
+	}
+	st := &ptbState{}
+	if ptes, ok := r.as.Table.PTBByAddr(ptbAddr); ok {
+		st.compressible = r.pcfg.Compressible(&ptes)
+	}
+	r.ptbs[ptbAddr] = st
+	return st
+}
+
+// repairPTB lazily updates a PTB's embedded CTE after the MC reported the
+// authoritative translation (Section V-A3's lazy update).
+func (r *Runner) repairPTB(ptbAddr, ppn uint64, correct cte.Entry) {
+	st := r.ptbState(ptbAddr)
+	if !st.compressible {
+		return
+	}
+	ptes, ok := r.as.Table.PTBByAddr(ptbAddr)
+	if !ok {
+		return
+	}
+	for i, pte := range ptes {
+		if pte&1 != 0 && pteePPN(pte) == ppn {
+			if i < r.pcfg.MaxEmbeddable() {
+				st.entries[i] = correct
+				st.hasCTE[i] = true
+			}
+			return
+		}
+	}
+}
+
+func pteePPN(pte uint64) uint64 { return (pte >> 12) & (1<<40 - 1) }
+
+// Spec exposes the workload parameters of this run.
+func (r *Runner) Spec() workload.Spec { return r.spec }
+
+// MC exposes the controller (experiments read design-specific stats).
+func (r *Runner) MC() *mc.MC { return r.mcc }

@@ -1,0 +1,172 @@
+// Package sim is the end-to-end system simulator (Section VI methodology):
+// trace-driven cores with a bounded outstanding-miss window, per-core TLB
+// and page-walk cache, per-core L1/L2 (L2 inclusive), a shared exclusive
+// L3, and one of the package mc memory-controller designs behind the NoC.
+// TMCC's L2-side machinery — the per-core CTE Buffer and the compressed
+// PTBs with embedded CTEs — lives here, because that is where the paper
+// puts it (Figures 9-11).
+//
+// A run has three phases, mirroring the paper: placement (content is
+// compressed and packed into the DRAM budget, hottest pages in ML1), warmup
+// (caches, TLBs, CTE structures and embedded CTEs are exercised with
+// timing but without recording), and measurement.
+package sim
+
+import (
+	"math/rand"
+
+	"tmcc/internal/cache"
+	"tmcc/internal/config"
+	"tmcc/internal/cte"
+	"tmcc/internal/ctecache"
+	"tmcc/internal/mc"
+	"tmcc/internal/pagetable"
+	"tmcc/internal/ptbcomp"
+	"tmcc/internal/tlb"
+	"tmcc/internal/workload"
+)
+
+// Options configures one run.
+type Options struct {
+	Benchmark string
+	Kind      mc.Kind
+	Sys       config.System
+	// BudgetPages is the DRAM budget in frames; 0 means "Compresso's
+	// natural usage" computed by the planner.
+	BudgetPages uint64
+	// ML2HalfPage / ML2Compress override the ML2 codec timing; zero means
+	// pick by design (fast Deflate for TMCC, IBM-class for OSInspired).
+	ML2HalfPage config.Time
+	ML2Compress config.Time
+	// WarmupAccesses / MeasureAccesses are per-run totals across cores.
+	WarmupAccesses  int
+	MeasureAccesses int
+	Seed            int64
+	HugePages       bool
+	// DisableEmbed turns off TMCC's ML1 optimization (for the Figure 20
+	// ablation) while keeping the fast ML2 Deflate.
+	DisableEmbed bool
+	// CTEOverride / VictimShadow configure the Section III problem-study
+	// variants (Figures 1-2).
+	CTEOverride  *config.CTECacheCfg
+	VictimShadow bool
+	// Virtualized runs the benchmark inside a VM: guest-virtual addresses
+	// translate through a guest page table to guest-physical and through a
+	// host page table to host-physical; TLB misses trigger 2D page walks
+	// (Figure 12b).
+	Virtualized bool
+}
+
+// Metrics is what a run reports.
+type Metrics struct {
+	Elapsed      config.Time
+	Cycles       uint64
+	Instructions uint64
+	Stores       uint64
+	MemAccesses  uint64
+
+	TLBMisses  uint64
+	LLCMisses  uint64 // demand + walker L3 misses
+	Walks      uint64
+	WalkRefs   uint64 // PTB fetches issued
+	Writebacks uint64
+
+	L3MissLatencySum config.Time // demand-read L3 miss service time incl. NoC
+	SlowMisses       uint64      // misses slower than 500ns
+	SlowMissSum      config.Time
+	SlowMax          config.Time
+	SlowML2          uint64
+	SlowPTB          uint64
+	// LatHist buckets L3 miss latencies: <60, <80, <120, <200, <500,
+	// >=500 ns — the distribution behind Figure 18's averages.
+	LatHist [6]uint64
+
+	MC   mc.Stats
+	Used uint64 // DRAM frames in use at end
+
+	DRAMReads, DRAMWrites uint64
+	BusUtilization        float64
+	RowHitRate            float64
+}
+
+// IPC returns instructions per cycle.
+func (m Metrics) IPC() float64 {
+	if m.Cycles == 0 {
+		return 0
+	}
+	return float64(m.Instructions) / float64(m.Cycles)
+}
+
+// StoresPerCycle is the paper's performance metric.
+func (m Metrics) StoresPerCycle() float64 {
+	if m.Cycles == 0 {
+		return 0
+	}
+	return float64(m.Stores) / float64(m.Cycles)
+}
+
+// LatHistBounds labels the LatHist buckets (upper bounds in ns; the last
+// bucket is unbounded).
+var LatHistBounds = [6]int{60, 80, 120, 200, 500, 1 << 30}
+
+// AvgL3MissLatencyNS is Figure 18's metric.
+func (m Metrics) AvgL3MissLatencyNS() float64 {
+	if m.LLCMisses == 0 {
+		return 0
+	}
+	return float64(m.L3MissLatencySum) / float64(m.LLCMisses) / float64(config.Nanosecond)
+}
+
+// ptbState tracks one hardware-compressed PTB and its embedded CTEs: the
+// stored entries are snapshots taken at embed time, so they go stale when
+// pages migrate — exactly the hazard TMCC's verify-in-parallel handles.
+type ptbState struct {
+	compressible bool
+	hasCTE       [8]bool
+	entries      [8]cte.Entry
+}
+
+type core struct {
+	id    int
+	time  config.Time
+	trace *workload.Trace
+	tlb   *tlb.TLB
+	wc    *tlb.WalkCache
+	gwc   *tlb.TLB // nested (gpa) walk cache under virtualization
+	l1    *cache.Cache
+	l2    *cache.Cache
+	buf   *ctecache.Buffer
+	mshr  []config.Time // outstanding-miss completion times
+	next  int           // ring index
+	dep   config.Time   // completion of the last dependent access
+	// prefetch
+	stride   *cache.StridePrefetcher
+	throttle *cache.Throttle
+}
+
+// Runner owns one configured system.
+type Runner struct {
+	opt   Options
+	sys   config.System
+	spec  workload.Spec
+	as    *pagetable.AddressSpace
+	sizes *workload.SizeModel
+	// Virtualization state (nil when not virtualized): the guest address
+	// space, plus functional translation caches.
+	guest     *pagetable.AddressSpace
+	gpaToHost map[uint64]uint64
+	vpnToHost map[uint64]uint64
+	mcc       *mc.MC
+	l3        *cache.Cache
+	ptbs      map[uint64]*ptbState
+	pcfg      ptbcomp.Config
+	rng       *rand.Rand
+
+	cores []*core
+
+	cycle config.Time
+	noc   config.Time
+
+	m         Metrics
+	recording bool
+}

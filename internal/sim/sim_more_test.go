@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"testing"
+
+	"tmcc/internal/config"
+	"tmcc/internal/mc"
+)
+
+func TestEmbeddingAblationChangesBehaviour(t *testing.T) {
+	full := runQuick(t, "canneal", mc.TMCC, 0)
+	r, err := NewRunner(Options{
+		Benchmark: "canneal", Kind: mc.TMCC, DisableEmbed: true,
+		WarmupAccesses: 30000, MeasureAccesses: 30000, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noEmbed := r.Run()
+	if noEmbed.MC.ParallelOK != 0 {
+		t.Errorf("embedding disabled but %d parallel accesses", noEmbed.MC.ParallelOK)
+	}
+	if full.MC.ParallelOK == 0 {
+		t.Error("embedding enabled but no parallel accesses")
+	}
+	if noEmbed.StoresPerCycle() > full.StoresPerCycle()*1.02 {
+		t.Errorf("disabling the ML1 optimization improved performance: %.4f > %.4f",
+			noEmbed.StoresPerCycle(), full.StoresPerCycle())
+	}
+}
+
+func TestWalkRelatedCorrelation(t *testing.T) {
+	// Figure 5's premise: the vast majority of CTE misses follow TLB
+	// misses under page-level CTEs.
+	m := runQuick(t, "canneal", mc.OSInspired, 0)
+	if m.MC.CTEMisses == 0 {
+		t.Skip("no CTE misses in window")
+	}
+	frac := float64(m.MC.CTEMissWalkRelated) / float64(m.MC.CTEMisses)
+	if frac < 0.6 {
+		t.Errorf("walk-related CTE-miss fraction = %.2f, want high (paper 0.89)", frac)
+	}
+}
+
+func TestHugePagesRun(t *testing.T) {
+	r, err := NewRunner(Options{
+		Benchmark: "canneal", Kind: mc.TMCC, HugePages: true,
+		WarmupAccesses: 20000, MeasureAccesses: 20000, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := r.Run()
+	// Embedding is ineffective under huge pages (Section VIII).
+	if m.MC.ParallelOK != 0 {
+		t.Errorf("huge pages but %d parallel accesses", m.MC.ParallelOK)
+	}
+	// Walks are shorter (3 levels), so TLB misses still resolve.
+	if m.TLBMisses == 0 || m.Cycles == 0 {
+		t.Errorf("degenerate run %+v", m)
+	}
+}
+
+func TestBudgetReductionDegradesGracefully(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	base := CompressoBudget("canneal", 42)
+	full := runQuick(t, "canneal", mc.TMCC, base)
+	tight := runQuick(t, "canneal", mc.TMCC, base*8/10)
+	if tight.MC.ML2Reads < full.MC.ML2Reads {
+		t.Errorf("smaller budget produced fewer ML2 reads: %d < %d",
+			tight.MC.ML2Reads, full.MC.ML2Reads)
+	}
+	if tight.StoresPerCycle() > full.StoresPerCycle()*1.1 {
+		t.Errorf("smaller budget was faster: %.4f > %.4f",
+			tight.StoresPerCycle(), full.StoresPerCycle())
+	}
+}
+
+func TestNoCInMissLatency(t *testing.T) {
+	m := runQuick(t, "canneal", mc.Uncompressed, 0)
+	// Every L3 miss pays at least the NoC round trip plus a DRAM access.
+	if m.AvgL3MissLatencyNS() < 18+14 {
+		t.Errorf("avg L3 miss %.1f ns below NoC+tCL floor", m.AvgL3MissLatencyNS())
+	}
+}
+
+func TestMultiMCInterleaving(t *testing.T) {
+	sys := config.Default()
+	sys.CPU.Cores = 8
+	sys.DRAM.MCs = 2
+	sys.DRAM.Channels = 2
+	sys.DRAM.MCInterleaveBytes = 4096
+	r, err := NewRunner(Options{
+		Benchmark: "canneal", Kind: mc.Uncompressed, Sys: sys,
+		WarmupAccesses: 20000, MeasureAccesses: 20000, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := r.Run()
+	single := runQuick(t, "canneal", mc.Uncompressed, 0)
+	// Four channels must relieve the bandwidth bottleneck.
+	if m.AvgL3MissLatencyNS() > single.AvgL3MissLatencyNS() {
+		t.Errorf("4-channel latency %.1f ns worse than 1-channel %.1f ns",
+			m.AvgL3MissLatencyNS(), single.AvgL3MissLatencyNS())
+	}
+}
+
+func TestCompressoUsesLessDRAMThanUncompressed(t *testing.T) {
+	un := runQuick(t, "canneal", mc.Uncompressed, 0)
+	cp := runQuick(t, "canneal", mc.Compresso, 0)
+	if cp.Used >= un.Used {
+		t.Errorf("compresso used %d pages >= uncompressed %d", cp.Used, un.Used)
+	}
+}
+
+func TestMetricsDerivations(t *testing.T) {
+	m := Metrics{Cycles: 1000, Instructions: 1500, Stores: 200,
+		LLCMisses: 10, L3MissLatencySum: 530 * config.Nanosecond}
+	if m.IPC() != 1.5 {
+		t.Errorf("IPC = %f", m.IPC())
+	}
+	if m.StoresPerCycle() != 0.2 {
+		t.Errorf("spc = %f", m.StoresPerCycle())
+	}
+	if m.AvgL3MissLatencyNS() != 53 {
+		t.Errorf("l3 = %f", m.AvgL3MissLatencyNS())
+	}
+	var zero Metrics
+	if zero.IPC() != 0 || zero.StoresPerCycle() != 0 || zero.AvgL3MissLatencyNS() != 0 {
+		t.Error("zero metrics not guarded")
+	}
+}
+
+func TestUnknownBenchmark(t *testing.T) {
+	if _, err := NewRunner(Options{Benchmark: "bogus"}); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestLatencyHistogramCoversMisses(t *testing.T) {
+	m := runQuick(t, "canneal", mc.TMCC, 0)
+	var total uint64
+	for _, v := range m.LatHist {
+		total += v
+	}
+	if total != m.LLCMisses {
+		t.Errorf("histogram covers %d of %d misses", total, m.LLCMisses)
+	}
+	if m.LatHist[0]+m.LatHist[1] == 0 {
+		t.Error("no misses near the unloaded latency")
+	}
+}

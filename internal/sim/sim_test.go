@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"testing"
+
+	"tmcc/internal/mc"
+)
+
+func runQuick(t *testing.T, bench string, kind mc.Kind, budget uint64) Metrics {
+	t.Helper()
+	r, err := NewRunner(Options{
+		Benchmark:       bench,
+		Kind:            kind,
+		BudgetPages:     budget,
+		WarmupAccesses:  30000,
+		MeasureAccesses: 30000,
+		Seed:            42,
+	})
+	if err != nil {
+		t.Fatalf("NewRunner(%s,%v): %v", bench, kind, err)
+	}
+	return r.Run()
+}
+
+func TestSmokeAllKindsSmallBench(t *testing.T) {
+	for _, kind := range []mc.Kind{mc.Uncompressed, mc.Compresso, mc.OSInspired, mc.TMCC} {
+		m := runQuick(t, "canneal", kind, 0)
+		if m.Cycles == 0 || m.Instructions == 0 {
+			t.Fatalf("%v: empty metrics %+v", kind, m)
+		}
+		if m.IPC() <= 0 || m.IPC() > 8 {
+			t.Errorf("%v: implausible IPC %.3f", kind, m.IPC())
+		}
+		if m.LLCMisses == 0 {
+			t.Errorf("%v: no LLC misses on canneal", kind)
+		}
+		t.Logf("%v: IPC %.3f spc %.4f llcMiss %d tlbMiss %d l3lat %.1f ns ml2 %d used %d",
+			kind, m.IPC(), m.StoresPerCycle(), m.LLCMisses, m.TLBMisses,
+			m.AvgL3MissLatencyNS(), m.MC.ML2Reads, m.Used)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := runQuick(t, "canneal", mc.TMCC, 0)
+	b := runQuick(t, "canneal", mc.TMCC, 0)
+	if a != b {
+		t.Errorf("runs differ:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestTMCCFasterThanCompressoIrregular(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long calibration test")
+	}
+	// At Compresso's natural budget, TMCC should not be slower on an
+	// irregular benchmark (the paper's Figure 17 shows +14% average).
+	c := runQuick(t, "canneal", mc.Compresso, 0)
+	tm := runQuick(t, "canneal", mc.TMCC, 0)
+	if tm.StoresPerCycle() < c.StoresPerCycle()*0.95 {
+		t.Errorf("TMCC spc %.4f clearly below Compresso %.4f", tm.StoresPerCycle(), c.StoresPerCycle())
+	}
+	t.Logf("compresso spc %.4f ipc %.3f l3 %.1fns; tmcc spc %.4f ipc %.3f l3 %.1fns",
+		c.StoresPerCycle(), c.IPC(), c.AvgL3MissLatencyNS(),
+		tm.StoresPerCycle(), tm.IPC(), tm.AvgL3MissLatencyNS())
+}

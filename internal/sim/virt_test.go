@@ -1,0 +1,48 @@
+package sim
+
+import (
+	"testing"
+
+	"tmcc/internal/mc"
+)
+
+func runVirt(t *testing.T, kind mc.Kind) Metrics {
+	t.Helper()
+	r, err := NewRunner(Options{
+		Benchmark: "canneal", Kind: kind, Virtualized: true,
+		WarmupAccesses: 30000, MeasureAccesses: 30000, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r.Run()
+}
+
+func TestVirtualizedRuns(t *testing.T) {
+	m := runVirt(t, mc.TMCC)
+	if m.Cycles == 0 || m.TLBMisses == 0 {
+		t.Fatalf("degenerate run %+v", m)
+	}
+	// 2D walks fetch more PTBs per TLB miss than native walks.
+	native := runQuick(t, "canneal", mc.TMCC, 0)
+	virtRefs := float64(m.WalkRefs) / float64(m.Walks)
+	natRefs := float64(native.WalkRefs) / float64(native.Walks)
+	if virtRefs <= natRefs {
+		t.Errorf("2D walk refs/walk %.2f not above native %.2f", virtRefs, natRefs)
+	}
+}
+
+func TestVirtualizedTMCCBeatsCompresso(t *testing.T) {
+	cp := runVirt(t, mc.Compresso)
+	tm := runVirt(t, mc.TMCC)
+	if tm.StoresPerCycle() < cp.StoresPerCycle() {
+		t.Errorf("virtualized TMCC %.4f below Compresso %.4f",
+			tm.StoresPerCycle(), cp.StoresPerCycle())
+	}
+	if tm.MC.ParallelOK == 0 {
+		t.Error("no parallel accesses under virtualization")
+	}
+	t.Logf("virt: compresso %.4f tmcc %.4f (%.2fx), l3 %.1f vs %.1f ns",
+		cp.StoresPerCycle(), tm.StoresPerCycle(), tm.StoresPerCycle()/cp.StoresPerCycle(),
+		cp.AvgL3MissLatencyNS(), tm.AvgL3MissLatencyNS())
+}

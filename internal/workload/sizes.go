@@ -1,0 +1,48 @@
+package workload
+
+import (
+	"fmt"
+
+	"tmcc/internal/blockcomp"
+	"tmcc/internal/content"
+	"tmcc/internal/memdeflate"
+)
+
+// NewSizeModel samples nSamples pages of the benchmark's content profile
+// through the real compressors — the memory-specialized Deflate for
+// page-level sizes and the best-of block composite for Compresso — and
+// returns the per-page size assigner. Deterministic in (benchmark, seed).
+func NewSizeModel(benchmark string, nSamples int, seed int64, deflateParams memdeflate.Params) (*SizeModel, error) {
+	prof, ok := content.ProfileFor(benchmark)
+	if !ok {
+		return nil, fmt.Errorf("workload: no content profile for %q", benchmark)
+	}
+	if nSamples <= 0 {
+		nSamples = 256
+	}
+	gen := prof.Generator(seed)
+	codec := memdeflate.New(deflateParams)
+	best := blockcomp.NewBest()
+	m := &SizeModel{
+		deflateSizes: make([]int, nSamples),
+		blockSizes:   make([]int, nSamples),
+		zeroFrac:     prof.ZeroFraction,
+	}
+	var halfSum, compSum int64
+	for i := 0; i < nSamples; i++ {
+		page := gen.Page()
+		size, st := codec.CompressedSize(page)
+		m.deflateSizes[i] = size
+		tm := codec.Timing(st)
+		halfSum += int64(tm.HalfPageLatency)
+		compSum += int64(tm.CompressorOcc)
+		blk := 0
+		for b := 0; b < len(page); b += 64 {
+			blk += best.CompressedSize(page[b : b+64])
+		}
+		m.blockSizes[i] = blk
+	}
+	m.MeanHalfPagePS = halfSum / int64(nSamples)
+	m.MeanCompressPS = compSum / int64(nSamples)
+	return m, nil
+}

@@ -1,0 +1,116 @@
+// Package tmcc is the public API of the TMCC reproduction — the
+// translation-optimized hardware memory compression system of Panwar et
+// al., "Translation-optimized Memory Compression for Capacity" (MICRO
+// 2022) — together with every substrate the paper's evaluation needs:
+//
+//   - a memory-specialized ASIC Deflate codec with a cycle-accurate-style
+//     timing model (Table II) and the block compressors (BDI, BPC, CPack)
+//     Compresso builds on;
+//   - an x86-64 page-table model with hardware PTB compression and
+//     embedded compression-translation entries (CTEs);
+//   - a full-system memory-subsystem simulator (cores, TLBs, caches,
+//     DDR4 timing, four memory-controller designs) reproducing the
+//     paper's Figures 1-22 and Tables I-IV.
+//
+// Three levels of entry:
+//
+//   - Compressor: use the memory-specialized Deflate as a library.
+//   - Simulate: run one benchmark under one memory-controller design.
+//   - RunExperiment: regenerate a specific paper table/figure.
+package tmcc
+
+import (
+	"tmcc/internal/exp"
+	"tmcc/internal/mc"
+	"tmcc/internal/memdeflate"
+	"tmcc/internal/sim"
+	"tmcc/internal/workload"
+)
+
+// Design selects a memory-controller design for Simulate.
+type Design = mc.Kind
+
+// The four designs the paper compares.
+const (
+	Uncompressed = mc.Uncompressed // no compression (Figure 18 baseline)
+	Compresso    = mc.Compresso    // block-level prior work (MICRO 2018)
+	OSInspired   = mc.OSInspired   // bare-bone two-level design (Section IV)
+	TMCC         = mc.TMCC         // the paper's contribution (Section V)
+)
+
+// SimOptions configures one simulation; see the field docs on sim.Options.
+type SimOptions = sim.Options
+
+// Metrics is what a simulation reports; see sim.Metrics.
+type Metrics = sim.Metrics
+
+// Simulate builds the full system for opts and runs
+// placement -> warmup -> measurement, returning the metrics.
+func Simulate(opts SimOptions) (Metrics, error) {
+	r, err := sim.NewRunner(opts)
+	if err != nil {
+		return Metrics{}, err
+	}
+	return r.Run(), nil
+}
+
+// Benchmarks returns the paper's twelve large/irregular benchmarks
+// (Figure 17's set) in paper order.
+func Benchmarks() []string { return workload.LargeBenchmarks() }
+
+// SmallBenchmarks returns the Section VII sensitivity set.
+func SmallBenchmarks() []string { return workload.SmallBenchmarks() }
+
+// CompressoUsagePages computes Compresso's natural DRAM usage for a
+// benchmark (Table IV column B), in 4KB frames — the iso-capacity budget
+// the comparisons use.
+func CompressoUsagePages(benchmark string, seed int64) uint64 {
+	return sim.CompressoBudget(benchmark, seed)
+}
+
+// CompressorParams tunes the memory-specialized Deflate (the Section V-B
+// design space); see memdeflate.Params.
+type CompressorParams = memdeflate.Params
+
+// PageStats describes one page's trip through the compressor pipeline.
+type PageStats = memdeflate.PageStats
+
+// Timing is the cycle model's wall-clock output for one page (Table II).
+type Timing = memdeflate.Timing
+
+// Compressor is the memory-specialized ASIC Deflate (1KB-CAM LZ + reduced
+// 16-leaf Huffman) as a reusable 4KB-page codec. Not safe for concurrent
+// use; create one per goroutine.
+type Compressor = memdeflate.Codec
+
+// NewCompressor returns a page codec; zero-value params select the paper's
+// converged configuration (1KB CAM, depth-8 tree, no dynamic skip).
+func NewCompressor(p CompressorParams) *Compressor { return memdeflate.New(p) }
+
+// DefaultCompressorParams is the paper's converged design point.
+func DefaultCompressorParams() CompressorParams { return memdeflate.DefaultParams() }
+
+// ExpConfig scales experiment runs; see exp.Config.
+type ExpConfig = exp.Config
+
+// ExpTable is a regenerated paper table/figure; see exp.Table.
+type ExpTable = exp.Table
+
+// RunExperiment regenerates the paper table or figure with the given id
+// ("fig1".."fig22", "tab1".."tab4", "ablation-*"); Experiments lists them.
+func RunExperiment(id string, cfg ExpConfig) (*ExpTable, error) {
+	r, ok := exp.Get(id)
+	if !ok {
+		return nil, errUnknownExperiment(id)
+	}
+	return r(cfg)
+}
+
+// Experiments lists the available experiment ids.
+func Experiments() []string { return exp.IDs() }
+
+type errUnknownExperiment string
+
+func (e errUnknownExperiment) Error() string {
+	return "tmcc: unknown experiment " + string(e)
+}

@@ -1,0 +1,80 @@
+package tmcc
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestPublicCompressorRoundTrip(t *testing.T) {
+	codec := NewCompressor(DefaultCompressorParams())
+	page := make([]byte, 4096)
+	for i := range page {
+		page[i] = byte(i / 37)
+	}
+	enc, stats, ok := codec.Compress(page)
+	if !ok {
+		t.Fatal("structured page incompressible")
+	}
+	if stats.EncodedSize >= 4096 {
+		t.Fatalf("no compression: %d", stats.EncodedSize)
+	}
+	dec, err := codec.Decompress(enc)
+	if err != nil || !bytes.Equal(dec, page) {
+		t.Fatalf("round trip failed: %v", err)
+	}
+	tm := codec.Timing(stats)
+	if tm.DecompressLatency <= 0 || tm.CompressLatency <= tm.DecompressLatency/4 {
+		t.Errorf("implausible timing %+v", tm)
+	}
+}
+
+func TestPublicSimulate(t *testing.T) {
+	m, err := Simulate(SimOptions{
+		Benchmark:       "canneal",
+		Kind:            TMCC,
+		WarmupAccesses:  20000,
+		MeasureAccesses: 15000,
+		Seed:            3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Cycles == 0 || m.LLCMisses == 0 {
+		t.Fatalf("empty metrics: %+v", m)
+	}
+}
+
+func TestPublicBenchmarksListed(t *testing.T) {
+	if len(Benchmarks()) != 12 {
+		t.Errorf("large benchmarks = %d, want 12", len(Benchmarks()))
+	}
+	if len(SmallBenchmarks()) == 0 {
+		t.Error("no small benchmarks")
+	}
+	if CompressoUsagePages("pageRank", 42) == 0 {
+		t.Error("CompressoUsagePages returned 0")
+	}
+}
+
+func TestPublicExperimentRegistry(t *testing.T) {
+	ids := Experiments()
+	want := []string{"fig1", "fig2", "fig5", "fig6", "fig15", "fig16", "fig17",
+		"fig18", "fig19", "fig20", "fig21", "fig22", "tab1", "tab2", "tab4",
+		"senssmall", "senshuge"}
+	have := map[string]bool{}
+	for _, id := range ids {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %s not registered", id)
+		}
+	}
+	if _, err := RunExperiment("nope", ExpConfig{}); err == nil {
+		t.Error("unknown experiment did not error")
+	}
+	tab, err := RunExperiment("tab1", ExpConfig{Quick: true})
+	if err != nil || len(tab.Rows) == 0 {
+		t.Errorf("tab1 failed: %v", err)
+	}
+}
