@@ -1,0 +1,36 @@
+# Developer entry points; CI (.github/workflows/ci.yml) runs the same steps.
+
+GO ?= go
+
+.PHONY: all build lint test race debug fuzz-smoke fmt
+
+all: lint test
+
+build:
+	$(GO) build ./...
+
+# lint = formatting + vet + the domain-aware tmcclint rules
+# (determinism, architectural-constant hygiene, panic conventions).
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needs to run on:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) run ./cmd/tmcclint ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# debug enables the check.Invariant audits (ML1/ML2 chunk conservation,
+# free-list accounting, PTB 64B-fit round-trips).
+debug:
+	$(GO) test -tags tmccdebug ./...
+
+fuzz-smoke:
+	$(GO) test -run=^$$ -fuzz FuzzBlockCompRoundTrip -fuzztime 10s ./internal/blockcomp/
+	$(GO) test -run=^$$ -fuzz FuzzMemDeflateRoundTrip -fuzztime 10s ./internal/memdeflate/
+
+fmt:
+	gofmt -w .

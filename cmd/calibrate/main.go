@@ -8,6 +8,7 @@ package main
 import (
 	"bytes"
 	"compress/flate"
+	"flag"
 	"fmt"
 	"math"
 	"math/rand"
@@ -19,8 +20,8 @@ import (
 
 type frac struct{ d, b, g float64 } // compressed fraction under deflate/block/gzip
 
-func measure() map[content.Archetype]frac {
-	rng := rand.New(rand.NewSource(5))
+func measure(seed int64) map[content.Archetype]frac {
+	rng := rand.New(rand.NewSource(seed))
 	md := memdeflate.New(memdeflate.DefaultParams())
 	best := blockcomp.NewBest()
 	out := map[content.Archetype]frac{}
@@ -31,16 +32,16 @@ func measure() map[content.Archetype]frac {
 			in += len(p)
 			s, _ := md.CompressedSize(p)
 			outMD += s
-			for b := 0; b < 4096; b += 64 {
-				outBlk += best.CompressedSize(p[b : b+64])
+			for b := 0; b < content.PageSize; b += blockcomp.BlockSize {
+				outBlk += best.CompressedSize(p[b : b+blockcomp.BlockSize])
 			}
 			var buf bytes.Buffer
 			w, _ := flate.NewWriter(&buf, 9)
 			w.Write(p)
 			w.Close()
 			g := buf.Len()
-			if g > 4096 {
-				g = 4096
+			if g > content.PageSize {
+				g = content.PageSize
 			}
 			outGz += g
 		}
@@ -56,7 +57,9 @@ type target struct {
 }
 
 func main() {
-	fr := measure()
+	seed := flag.Int64("seed", 5, "content-generation seed (5 produced the frozen mixes)")
+	flag.Parse()
+	fr := measure(*seed)
 	for a := content.Archetype(1); a < 11; a++ {
 		f := fr[a]
 		fmt.Printf("%-12v d=%.3f b=%.3f g=%.3f\n", a, f.d, f.b, f.g)

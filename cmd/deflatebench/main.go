@@ -39,8 +39,8 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		for i := 0; i+4096 <= len(data); i += 4096 {
-			dump = append(dump, data[i:i+4096])
+		for i := 0; i+memdeflate.PageSize <= len(data); i += memdeflate.PageSize {
+			dump = append(dump, data[i:i+memdeflate.PageSize])
 		}
 	} else {
 		prof, ok := content.ProfileFor(*profile)

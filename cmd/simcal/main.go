@@ -73,7 +73,7 @@ func run(bench string, kind mc.Kind, n, warm int) sim.Metrics {
 		Seed:            42,
 	})
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("simcal: %s/%s: %v", bench, kind, err))
 	}
 	return r.Run()
 }

@@ -1,0 +1,139 @@
+// Command tmcclint runs the TMCC-specific static analyzer over the module.
+// It is stdlib-only (go/ast, go/parser, go/token) and enforces the
+// determinism, magic-literal, and panic-convention rules documented in
+// package internal/lint.
+//
+// Usage:
+//
+//	tmcclint ./...            # whole module (run from the module root)
+//	tmcclint internal/mc      # one directory
+//	tmcclint file.go          # single files work too
+//
+// Exit status is 1 when any rule fires, 2 on usage or parse errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"tmcc/internal/lint"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: tmcclint [packages|dirs|files]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+
+	files, err := collect(args)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tmcclint: %v\n", err)
+		os.Exit(2)
+	}
+
+	fset := token.NewFileSet()
+	var diags []lint.Diag
+	parseFailed := false
+	for _, file := range files {
+		f, err := parser.ParseFile(fset, file, nil, parser.ParseComments)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tmcclint: %v\n", err)
+			parseFailed = true
+			continue
+		}
+		// Scope the per-directory rules by the absolute path, so running
+		// from inside internal/ still applies the determinism rules;
+		// diagnostics keep the path as given.
+		scope := file
+		if abs, err := filepath.Abs(file); err == nil {
+			scope = abs
+		}
+		diags = append(diags, lint.File(fset, filepath.ToSlash(scope), f)...)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	switch {
+	case parseFailed:
+		os.Exit(2)
+	case len(diags) > 0:
+		fmt.Fprintf(os.Stderr, "tmcclint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// collect expands the argument list into .go files. A trailing "/..."
+// recurses; a directory takes its immediate .go files; a .go file is taken
+// as-is.
+func collect(args []string) ([]string, error) {
+	seen := map[string]bool{}
+	var out []string
+	add := func(p string) {
+		p = filepath.Clean(p)
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, arg := range args {
+		switch {
+		case strings.HasSuffix(arg, "/..."):
+			root := filepath.Clean(strings.TrimSuffix(arg, "/..."))
+			err := filepath.WalkDir(root, func(p string, d fs.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if d.IsDir() {
+					name := d.Name()
+					if p != root && (strings.HasPrefix(name, ".") || name == "testdata" || name == "vendor") {
+						return filepath.SkipDir
+					}
+					return nil
+				}
+				if strings.HasSuffix(p, ".go") {
+					add(p)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+		case strings.HasSuffix(arg, ".go"):
+			add(arg)
+		default:
+			entries, err := os.ReadDir(arg)
+			if err != nil {
+				return nil, err
+			}
+			for _, e := range entries {
+				if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+					add(filepath.Join(arg, e.Name()))
+				}
+			}
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}

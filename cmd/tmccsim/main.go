@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -30,42 +31,46 @@ func main() {
 	flag.Parse()
 
 	cfg := exp.Config{Seed: *seed, Quick: *quick}
-	render = *format
 
 	switch {
 	case *list:
 		fmt.Println(strings.Join(exp.IDs(), "\n"))
 	case *all:
 		for _, eid := range exp.IDs() {
-			run(eid, cfg)
+			if err := run(os.Stdout, eid, cfg, *format); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
 		}
 	case *id != "":
-		run(*id, cfg)
+		if err := run(os.Stdout, *id, cfg, *format); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
 }
 
-var render = "text"
-
-func run(id string, cfg exp.Config) {
+// run executes one experiment and renders its table; split from main so the
+// smoke test can drive it.
+func run(w io.Writer, id string, cfg exp.Config, format string) error {
 	r, ok := exp.Get(id)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; -list shows ids\n", id)
-		os.Exit(1)
+		return fmt.Errorf("unknown experiment %q; -list shows ids", id)
 	}
 	t, err := r(cfg)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
-		os.Exit(1)
+		return fmt.Errorf("%s: %w", id, err)
 	}
-	switch render {
+	switch format {
 	case "markdown":
-		fmt.Println(t.Markdown())
+		fmt.Fprintln(w, t.Markdown())
 	case "csv":
-		fmt.Println(t.CSV())
+		fmt.Fprintln(w, t.CSV())
 	default:
-		fmt.Println(t.String())
+		fmt.Fprintln(w, t.String())
 	}
+	return nil
 }

@@ -1,0 +1,30 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"tmcc/internal/exp"
+)
+
+// TestRunSmoke drives the cheapest experiment (fig6, the page-table scan)
+// through every output format.
+func TestRunSmoke(t *testing.T) {
+	cfg := exp.Config{Seed: 42, Quick: true}
+	for _, format := range []string{"text", "markdown", "csv"} {
+		var sb strings.Builder
+		if err := run(&sb, "fig6", cfg, format); err != nil {
+			t.Fatalf("run(fig6, %s): %v", format, err)
+		}
+		if sb.Len() == 0 {
+			t.Errorf("run(fig6, %s) wrote nothing", format)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "fig999", exp.Config{}, "text"); err == nil {
+		t.Fatal("unknown experiment id did not error")
+	}
+}

@@ -26,8 +26,8 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		for i := 0; i+4096 <= len(data); i += 4096 {
-			dump = append(dump, data[i:i+4096])
+		for i := 0; i+tmcc.PageSize <= len(data); i += tmcc.PageSize {
+			dump = append(dump, data[i:i+tmcc.PageSize])
 		}
 	} else {
 		prof, _ := content.ProfileFor("suite-spec")
@@ -39,7 +39,7 @@ func main() {
 
 	fmt.Printf("%8s %10s %14s %14s %12s\n",
 		"CAM", "ratio", "compress-ns", "decompress-ns", "verified")
-	for _, window := range []int{256, 512, 1024, 2048, 4096} {
+	for _, window := range []int{256, 512, 1024, 2048, tmcc.PageSize} {
 		p := tmcc.DefaultCompressorParams()
 		p.WindowSize = window
 		codec := tmcc.NewCompressor(p)

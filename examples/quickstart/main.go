@@ -17,8 +17,8 @@ func main() {
 	codec := tmcc.NewCompressor(tmcc.DefaultCompressorParams())
 
 	// A page that looks like a heap: repeated small structs.
-	page := make([]byte, 4096)
-	for i := 0; i < 4096; i += 16 {
+	page := make([]byte, tmcc.PageSize)
+	for i := 0; i < tmcc.PageSize; i += 16 {
 		binary.LittleEndian.PutUint64(page[i:], uint64(0x7f12_0000_0000+i))
 		binary.LittleEndian.PutUint64(page[i+8:], uint64(i/16))
 	}
@@ -32,8 +32,8 @@ func main() {
 		log.Fatalf("round trip failed: %v", err)
 	}
 	tm := codec.Timing(stats)
-	fmt.Printf("compressed 4096 -> %d bytes (%.1fx)\n",
-		stats.EncodedSize, 4096/float64(stats.EncodedSize))
+	fmt.Printf("compressed %d -> %d bytes (%.1fx)\n",
+		tmcc.PageSize, stats.EncodedSize, tmcc.PageSize/float64(stats.EncodedSize))
 	fmt.Printf("ASIC model: compress %d ns, decompress %d ns, half-page %d ns\n",
 		tm.CompressLatency/1000, tm.DecompressLatency/1000, tm.HalfPageLatency/1000)
 

@@ -55,7 +55,7 @@ func readWord(block []byte, i, size int) uint64 {
 	case 8:
 		return binary.LittleEndian.Uint64(block[i*8:])
 	}
-	panic("bdi: bad word size")
+	panic(fmt.Sprintf("bdi: bad word size %d (want 2, 4, or 8)", size))
 }
 
 // tryConfig reports whether block encodes under cfg using the first word as
@@ -75,8 +75,8 @@ func tryConfig(block []byte, cfg bdiConfig) bool {
 
 func isRepeated(block []byte) bool {
 	first := binary.LittleEndian.Uint64(block)
-	for i := 1; i < BlockSize/8; i++ {
-		if binary.LittleEndian.Uint64(block[i*8:]) != first {
+	for i := 1; i < BlockSize/wordBytes; i++ {
+		if binary.LittleEndian.Uint64(block[i*wordBytes:]) != first {
 			return false
 		}
 	}

@@ -11,6 +11,13 @@ import "fmt"
 // BlockSize is the fixed input granularity of every compressor here.
 const BlockSize = 64
 
+// wordBytes is the 64-bit word size several compressors scan by;
+// bitsPerByte rounds bit-exact encodings up to whole bytes.
+const (
+	wordBytes   = 8
+	bitsPerByte = 8
+)
+
 // Compressor compresses one 64-byte memory block.
 type Compressor interface {
 	// Name identifies the algorithm in reports.

@@ -126,7 +126,7 @@ func bpcEncode(block []byte) *bitWriter {
 // CompressedSize implements Compressor.
 func (BPC) CompressedSize(block []byte) int {
 	checkBlock(block)
-	size := (bpcEncode(block).lenBits() + 7) / 8
+	size := (bpcEncode(block).lenBits() + bitsPerByte - 1) / bitsPerByte
 	if size >= BlockSize {
 		return BlockSize
 	}

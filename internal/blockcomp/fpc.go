@@ -81,7 +81,7 @@ func fpcEncode(block []byte) *bitWriter {
 // CompressedSize implements Compressor.
 func (FPC) CompressedSize(block []byte) int {
 	checkBlock(block)
-	size := (fpcEncode(block).lenBits() + 7) / 8
+	size := (fpcEncode(block).lenBits() + bitsPerByte - 1) / bitsPerByte
 	if size >= BlockSize {
 		return BlockSize
 	}

@@ -1,0 +1,22 @@
+// Package check is the runtime invariant layer of the TMCC simulator.
+//
+// The simulator's headline numbers (2.2x effective capacity, +14%
+// performance over Compresso) are accounting results: if the ML1/ML2
+// free-space bookkeeping, the CTE table, or the 64B PTB layout drifts, the
+// simulation does not crash — it silently reports wrong capacity. The
+// hot accounting paths therefore carry deep audits that are compiled to
+// no-ops in normal builds and enabled with the tmccdebug build tag:
+//
+//	go test -tags tmccdebug ./...
+//
+// Call sites guard with check.Enabled so the audit closure itself is
+// dead-code-eliminated in default builds:
+//
+//	if check.Enabled {
+//		check.Invariant("mc: chunk-conservation", m.audit)
+//	}
+//
+// Assert is for cheap inline conditions; Invariant runs an audit function
+// and panics (with the "check: " prefix, attributable per the tmcclint
+// panic convention) when it returns a non-nil error.
+package check

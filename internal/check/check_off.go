@@ -1,0 +1,12 @@
+//go:build !tmccdebug
+
+package check
+
+// Enabled reports whether invariant auditing is compiled in.
+const Enabled = false
+
+// Assert is a no-op in default builds.
+func Assert(cond bool, format string, args ...any) {}
+
+// Invariant is a no-op in default builds; f is not called.
+func Invariant(name string, f func() error) {}

@@ -1,0 +1,22 @@
+//go:build tmccdebug
+
+package check
+
+import "fmt"
+
+// Enabled reports whether invariant auditing is compiled in.
+const Enabled = true
+
+// Assert panics when cond is false, formatting the caller's message.
+func Assert(cond bool, format string, args ...any) {
+	if !cond {
+		panic(fmt.Sprintf("check: assertion failed: "+format, args...))
+	}
+}
+
+// Invariant runs the audit f and panics when it reports a violation.
+func Invariant(name string, f func() error) {
+	if err := f(); err != nil {
+		panic(fmt.Sprintf("check: invariant %q violated: %v", name, err))
+	}
+}

@@ -1,0 +1,44 @@
+package check
+
+import (
+	"errors"
+	"testing"
+)
+
+// The same test binary covers both modes: `go test` exercises the no-op
+// build, `go test -tags tmccdebug` the panicking build.
+
+func TestAssert(t *testing.T) {
+	Assert(true, "never fires")
+	defer func() {
+		r := recover()
+		if Enabled && r == nil {
+			t.Fatal("Assert(false) did not panic with tmccdebug")
+		}
+		if !Enabled && r != nil {
+			t.Fatalf("Assert(false) panicked in a default build: %v", r)
+		}
+	}()
+	Assert(false, "bad value %d", 7)
+}
+
+func TestInvariant(t *testing.T) {
+	calls := 0
+	Invariant("ok", func() error { calls++; return nil })
+	if Enabled && calls != 1 {
+		t.Fatal("Invariant did not run its audit with tmccdebug")
+	}
+	if !Enabled && calls != 0 {
+		t.Fatal("Invariant ran its audit in a default build")
+	}
+	defer func() {
+		r := recover()
+		if Enabled && r == nil {
+			t.Fatal("failing Invariant did not panic with tmccdebug")
+		}
+		if !Enabled && r != nil {
+			t.Fatalf("failing Invariant panicked in a default build: %v", r)
+		}
+	}()
+	Invariant("drift", func() error { return errors.New("off by one chunk") })
+}

@@ -1,5 +1,7 @@
 package content
 
+import "sort"
+
 // Profile describes the synthetic memory contents of one benchmark: the
 // archetype mix for its non-zero pages plus the fraction of all-zero pages
 // (which the paper's dump methodology deletes before computing ratios).
@@ -83,12 +85,13 @@ func ProfileFor(name string) (Profile, bool) {
 	return p, ok
 }
 
-// Profiles lists all known profile names (stable order not guaranteed).
+// Profiles lists all known profile names in sorted (deterministic) order.
 func Profiles() []string {
 	out := make([]string, 0, len(profiles))
 	for n := range profiles {
 		out = append(out, n)
 	}
+	sort.Strings(out)
 	return out
 }
 

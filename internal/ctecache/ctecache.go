@@ -62,7 +62,7 @@ func (c *Cache) HitRate() float64 {
 // given the base of the linear CTE table in DRAM (Section II: MC stores
 // CTEs in DRAM as a linear 1-level table).
 func (c *Cache) CTETableAddr(tableBase uint64, ppn uint64) uint64 {
-	return tableBase + c.blockFor(ppn)*64
+	return tableBase + c.blockFor(ppn)*config.BlockSize
 }
 
 // BufEntry is one CTE Buffer record (Figure 10): keyed by the PPN a PTE

@@ -52,7 +52,7 @@ func newBusSched(tbl config.Time) busSched {
 	return busSched{
 		epochLen: epochLen,
 		perEpoch: int(epochLen / tbl),
-		occ:      make([]uint16, 4096),
+		occ:      make([]uint16, 4096), //tmcclint:allow magic-literal (epoch ring length, not the page size)
 		tbl:      tbl,
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"compress/flate"
 
 	"tmcc/internal/blockcomp"
+	"tmcc/internal/config"
 	"tmcc/internal/content"
 	"tmcc/internal/ibmdeflate"
 	"tmcc/internal/memdeflate"
@@ -77,16 +78,16 @@ func Tab2(cfg Config) (*Table, error) {
 		}
 	}
 	fp := float64(pages)
-	t.Add("our-decompressor", sumD/fp, sumH/fp, 4096/(sumOccD/fp))
-	t.Add("our-compressor", sumC/fp, 0, 4096/(sumOccC/fp))
+	t.Add("our-decompressor", sumD/fp, sumH/fp, config.PageSize/(sumOccD/fp))
+	t.Add("our-compressor", sumC/fp, 0, config.PageSize/(sumOccC/fp))
 	ibm := ibmdeflate.Default()
 	t.Add("ibm-decompressor",
-		float64(ibm.DecompressLatency(4096))/1000,
-		float64(ibm.HalfPageLatency(4096))/1000,
-		ibm.DecompressThroughputGBs(4096))
+		float64(ibm.DecompressLatency(config.PageSize))/1000,
+		float64(ibm.HalfPageLatency(config.PageSize))/1000,
+		ibm.DecompressThroughputGBs(config.PageSize))
 	t.Add("ibm-compressor",
-		float64(ibm.CompressLatency(4096))/1000, 0,
-		ibm.CompressThroughputGBs(4096))
+		float64(ibm.CompressLatency(config.PageSize))/1000, 0,
+		ibm.CompressThroughputGBs(config.PageSize))
 	t.Notes = append(t.Notes,
 		"paper: ours 277/140/662 ns, 14.8/17.2 GB/s; IBM 1100/878/1050 ns, 3.7/3.9 GB/s")
 	return t, nil
@@ -175,7 +176,7 @@ func AblationCAM(cfg Config) (*Table, error) {
 		n = 60
 	}
 	ratios := map[int]float64{}
-	sizesList := []int{256, 512, 1024, 2048, 4096}
+	sizesList := []int{256, 512, 1024, 2048, config.PageSize}
 	for _, w := range sizesList {
 		p := memdeflate.DefaultParams()
 		p.WindowSize = w
@@ -197,7 +198,7 @@ func AblationCAM(cfg Config) (*Table, error) {
 		ratios[w] = float64(in) / float64(out)
 	}
 	for _, w := range sizesList {
-		t.Add(fmtInt(w), ratios[w], ratios[w]/ratios[4096])
+		t.Add(fmtInt(w), ratios[w], ratios[w]/ratios[config.PageSize])
 	}
 	return t, nil
 }

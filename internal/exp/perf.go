@@ -227,7 +227,7 @@ func Fig20(cfg Config) (*Table, error) {
 			}
 			// ML1 optimization only: embedding on, slow (IBM-class) ML2.
 			m1, err := runOne(cfg, b, sim.Options{Kind: mc.TMCC, BudgetPages: budget,
-				ML2HalfPage: ibm.HalfPageLatency(4096), ML2Compress: ibm.CompressLatency(4096)})
+				ML2HalfPage: ibm.HalfPageLatency(config.PageSize), ML2Compress: ibm.CompressLatency(config.PageSize)})
 			if err != nil {
 				return nil, err
 			}
@@ -321,11 +321,11 @@ func Fig22(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		compat, err := runOne(cfg, b, sim.Options{Kind: mc.Uncompressed, Sys: mkSys(4096, 256)})
+		compat, err := runOne(cfg, b, sim.Options{Kind: mc.Uncompressed, Sys: mkSys(config.PageSize, 256)})
 		if err != nil {
 			return nil, err
 		}
-		pageAll, err := runOne(cfg, b, sim.Options{Kind: mc.Uncompressed, Sys: mkSys(4096, 4096)})
+		pageAll, err := runOne(cfg, b, sim.Options{Kind: mc.Uncompressed, Sys: mkSys(config.PageSize, config.PageSize)})
 		if err != nil {
 			return nil, err
 		}

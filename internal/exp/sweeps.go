@@ -93,7 +93,7 @@ func AblationTLB(cfg Config) (*Table, error) {
 		Header: []string{"tlb-entries", "tlb-miss/llc", "tmcc/compresso"},
 		Notes:  []string{"smaller TLBs raise walk rates and widen TMCC's advantage"},
 	}
-	for _, entries := range []int{512, 1024, 2048, 4096} {
+	for _, entries := range []int{512, 1024, 2048, 4096} { //tmcclint:allow magic-literal (TLB entry count)
 		sys := config.Default()
 		sys.CPU.TLBEntries = entries
 		var missRatio, ratio float64

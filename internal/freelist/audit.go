@@ -1,0 +1,100 @@
+package freelist
+
+import "fmt"
+
+// auditSuper is the O(1) slice of Audit scoped to one super-chunk, cheap
+// enough to run after every Alloc/Free on the hot path: the mutated
+// super-chunk's slot accounting must stay conserved and the global byte and
+// chunk counters must stay sane.
+func (m *ML2) auditSuper(ci, si int) error {
+	if ci < 0 || ci >= len(m.classes) {
+		return fmt.Errorf("class %d out of range", ci)
+	}
+	if si < 0 || si >= len(m.supers[ci]) {
+		return fmt.Errorf("class %d: super %d out of range", ci, si)
+	}
+	cl := m.classes[ci]
+	sup := m.supers[ci][si]
+	if sup.chunks == nil {
+		if sup.used != 0 || len(sup.freeSlot) != 0 {
+			return fmt.Errorf("class %d super %d: retired but used=%d free=%d",
+				ci, si, sup.used, len(sup.freeSlot))
+		}
+	} else {
+		if len(sup.chunks) != cl.M {
+			return fmt.Errorf("class %d super %d: holds %d chunks, class M=%d",
+				ci, si, len(sup.chunks), cl.M)
+		}
+		if sup.used < 0 || sup.used+len(sup.freeSlot) != cl.N {
+			return fmt.Errorf("class %d super %d: used=%d + free=%d != N=%d",
+				ci, si, sup.used, len(sup.freeSlot), cl.N)
+		}
+	}
+	if m.UsedBytes < 0 {
+		return fmt.Errorf("UsedBytes=%d negative", m.UsedBytes)
+	}
+	if m.HeldChunks < 0 {
+		return fmt.Errorf("HeldChunks=%d negative", m.HeldChunks)
+	}
+	return nil
+}
+
+// Audit verifies ML2's free-space bookkeeping invariants (Section IV-B's
+// conservation properties) across every class — O(super-chunks), so it runs
+// from the Settle-time deep audit and from tests rather than per mutation:
+//
+//   - every live super-chunk's used + free slots equals its class's N;
+//   - HeldChunks equals the 4KB chunks owned by live super-chunks;
+//   - UsedBytes is non-negative and fits the live sub-chunk capacity;
+//   - the partial lists index exactly the live super-chunks with free
+//     slots, with no duplicates.
+func (m *ML2) Audit() error {
+	held := 0
+	var capacity int64
+	for ci, cl := range m.classes {
+		inPartial := make(map[int]bool, len(m.partial[ci]))
+		for _, si := range m.partial[ci] {
+			if si < 0 || si >= len(m.supers[ci]) {
+				return fmt.Errorf("class %d: partial index %d out of range", ci, si)
+			}
+			if inPartial[si] {
+				return fmt.Errorf("class %d: super %d listed twice in partial", ci, si)
+			}
+			inPartial[si] = true
+		}
+		for si, sup := range m.supers[ci] {
+			if sup.chunks == nil {
+				// Retired (fully freed) super-chunk.
+				if sup.used != 0 || len(sup.freeSlot) != 0 {
+					return fmt.Errorf("class %d super %d: retired but used=%d free=%d",
+						ci, si, sup.used, len(sup.freeSlot))
+				}
+				if inPartial[si] {
+					return fmt.Errorf("class %d super %d: retired but in partial list", ci, si)
+				}
+				continue
+			}
+			if len(sup.chunks) != cl.M {
+				return fmt.Errorf("class %d super %d: holds %d chunks, class M=%d",
+					ci, si, len(sup.chunks), cl.M)
+			}
+			held += cl.M
+			capacity += int64(cl.N) * int64(cl.SubSize)
+			if sup.used < 0 || sup.used+len(sup.freeSlot) != cl.N {
+				return fmt.Errorf("class %d super %d: used=%d + free=%d != N=%d",
+					ci, si, sup.used, len(sup.freeSlot), cl.N)
+			}
+			if wantPartial := len(sup.freeSlot) > 0; wantPartial != inPartial[si] {
+				return fmt.Errorf("class %d super %d: free=%d but partial-listed=%v",
+					ci, si, len(sup.freeSlot), inPartial[si])
+			}
+		}
+	}
+	if held != m.HeldChunks {
+		return fmt.Errorf("HeldChunks=%d but live super-chunks own %d", m.HeldChunks, held)
+	}
+	if m.UsedBytes < 0 || m.UsedBytes > capacity {
+		return fmt.Errorf("UsedBytes=%d outside [0, capacity=%d]", m.UsedBytes, capacity)
+	}
+	return nil
+}

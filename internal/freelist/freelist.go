@@ -7,7 +7,12 @@
 // chosen to minimize (4KB*M) mod N.
 package freelist
 
-import "fmt"
+import (
+	"fmt"
+
+	"tmcc/internal/check"
+	"tmcc/internal/config"
+)
 
 // ChunkSize is the ML1 chunk granularity (one page).
 const ChunkSize = 4096
@@ -187,6 +192,10 @@ func (m *ML2) Alloc(size int) (SubChunk, bool) {
 		m.partial[ci] = m.partial[ci][:len(m.partial[ci])-1]
 	}
 	m.UsedBytes += int64(size)
+	if check.Enabled {
+		check.Invariant("freelist: super-chunk accounting after Alloc",
+			func() error { return m.auditSuper(ci, si) })
+	}
 	return SubChunk{Class: ci, Super: si, Slot: slot}, true
 }
 
@@ -221,12 +230,20 @@ func (m *ML2) Free(sc SubChunk, size int) error {
 				break
 			}
 		}
+		if check.Enabled {
+			check.Invariant("freelist: super-chunk accounting after retire",
+				func() error { return m.auditSuper(sc.Class, sc.Super) })
+		}
 		return nil
 	}
 	if wasFull {
 		// Transitioned to having a free slot: track at the top (paper's
 		// policy keeps emptier supers toward the bottom).
 		m.partial[sc.Class] = append(m.partial[sc.Class], sc.Super)
+	}
+	if check.Enabled {
+		check.Invariant("freelist: super-chunk accounting after Free",
+			func() error { return m.auditSuper(sc.Class, sc.Super) })
 	}
 	return nil
 }
@@ -251,7 +268,7 @@ func (m *ML2) BlockAddresses(sc SubChunk, size int) []uint64 {
 	cl := m.classes[sc.Class]
 	off := sc.Slot * cl.SubSize
 	var out []uint64
-	for b := off / 64 * 64; b < off+size; b += 64 {
+	for b := off / config.BlockSize * config.BlockSize; b < off+size; b += config.BlockSize {
 		ci := b / ChunkSize
 		if ci >= len(sup.chunks) {
 			break

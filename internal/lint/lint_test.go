@@ -1,0 +1,328 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// run lints src as if it lived at relPath and returns the rule names fired.
+func run(t *testing.T, relPath, src string) []string {
+	t.Helper()
+	diags, err := Source(relPath, src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	var rules []string
+	for _, d := range diags {
+		rules = append(rules, d.Rule)
+	}
+	return rules
+}
+
+func has(rules []string, want string) bool {
+	for _, r := range rules {
+		if r == want {
+			return true
+		}
+	}
+	return false
+}
+
+func TestGlobalRandFires(t *testing.T) {
+	src := `package p
+import "math/rand"
+func f() int { return rand.Intn(10) }
+`
+	rules := run(t, "internal/p/p.go", src)
+	if !has(rules, RuleRand) {
+		t.Fatalf("want %s, got %v", RuleRand, rules)
+	}
+}
+
+func TestSeededRandOK(t *testing.T) {
+	src := `package p
+import "math/rand"
+func f(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+`
+	if rules := run(t, "internal/p/p.go", src); len(rules) != 0 {
+		t.Fatalf("seeded *rand.Rand flagged: %v", rules)
+	}
+}
+
+func TestRandOutsideInternalNotChecked(t *testing.T) {
+	src := `package main
+import "math/rand"
+func f() int { return rand.Intn(10) }
+`
+	if rules := run(t, "cmd/x/main.go", src); has(rules, RuleRand) {
+		t.Fatalf("determinism rule fired outside internal/: %v", rules)
+	}
+}
+
+func TestWallclockFires(t *testing.T) {
+	src := `package p
+import "time"
+func f() time.Time { return time.Now() }
+`
+	rules := run(t, "internal/p/p.go", src)
+	if !has(rules, RuleWallclock) {
+		t.Fatalf("want %s, got %v", RuleWallclock, rules)
+	}
+}
+
+func TestMapIterAppendFires(t *testing.T) {
+	src := `package p
+func f(m map[int]string) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`
+	rules := run(t, "internal/p/p.go", src)
+	if !has(rules, RuleMapIter) {
+		t.Fatalf("want %s, got %v", RuleMapIter, rules)
+	}
+}
+
+func TestMapIterFloatAccumFires(t *testing.T) {
+	src := `package p
+func f(m map[int]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+`
+	rules := run(t, "internal/p/p.go", src)
+	if !has(rules, RuleMapIter) {
+		t.Fatalf("want %s, got %v", RuleMapIter, rules)
+	}
+}
+
+func TestMapIterIntCountOK(t *testing.T) {
+	// Integer accumulation commutes; counting over a map is deterministic.
+	src := `package p
+func f(m map[int]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+`
+	if rules := run(t, "internal/p/p.go", src); has(rules, RuleMapIter) {
+		t.Fatalf("int accumulation flagged: %v", rules)
+	}
+}
+
+func TestMapIterCollectThenSortOK(t *testing.T) {
+	src := `package p
+import "sort"
+func f(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+`
+	if rules := run(t, "internal/p/p.go", src); has(rules, RuleMapIter) {
+		t.Fatalf("collect-then-sort idiom flagged: %v", rules)
+	}
+}
+
+func TestSliceIterAppendOK(t *testing.T) {
+	src := `package p
+func f(s []int) []int {
+	var out []int
+	for _, v := range s {
+		out = append(out, v)
+	}
+	return out
+}
+`
+	if rules := run(t, "internal/p/p.go", src); has(rules, RuleMapIter) {
+		t.Fatalf("slice iteration flagged: %v", rules)
+	}
+}
+
+func TestMagic4096Fires(t *testing.T) {
+	src := `package p
+func f(n uint64) uint64 { return n * 4096 }
+`
+	rules := run(t, "internal/p/p.go", src)
+	if !has(rules, RuleMagic) {
+		t.Fatalf("want %s, got %v", RuleMagic, rules)
+	}
+}
+
+func TestMagic4096InCmdFires(t *testing.T) {
+	src := `package main
+var x = 2 + 4096
+`
+	rules := run(t, "cmd/x/main.go", src)
+	if !has(rules, RuleMagic) {
+		t.Fatalf("want %s in cmd/, got %v", RuleMagic, rules)
+	}
+}
+
+func TestMagic64AddrArithmeticFires(t *testing.T) {
+	src := `package p
+func f(blockOff int) int { return blockOff * 64 }
+`
+	rules := run(t, "internal/p/p.go", src)
+	if !has(rules, RuleMagic) {
+		t.Fatalf("want %s, got %v", RuleMagic, rules)
+	}
+}
+
+func TestMagic8AddrArithmeticFires(t *testing.T) {
+	src := `package p
+func f(pteIndex uint64) uint64 { return pteIndex * 8 }
+`
+	rules := run(t, "internal/p/p.go", src)
+	if !has(rules, RuleMagic) {
+		t.Fatalf("want %s, got %v", RuleMagic, rules)
+	}
+}
+
+func TestMagic64NonAddrOK(t *testing.T) {
+	// 64 outside address arithmetic (bit widths, generic loop bounds) is
+	// not flagged; only * / % against address-like identifiers is.
+	src := `package p
+func f(i int) int { return i * 64 }
+var w = 64 - 3
+`
+	if rules := run(t, "internal/p/p.go", src); has(rules, RuleMagic) {
+		t.Fatalf("non-address 64 flagged: %v", rules)
+	}
+}
+
+func TestMagicConstDeclOK(t *testing.T) {
+	src := `package p
+const pageSize = 4096
+const blockSize = 64
+`
+	if rules := run(t, "internal/p/p.go", src); has(rules, RuleMagic) {
+		t.Fatalf("const decl flagged: %v", rules)
+	}
+}
+
+func TestMagicConfigPackageExempt(t *testing.T) {
+	src := `package config
+var x = 4096 * 2
+`
+	if rules := run(t, "internal/config/config.go", src); has(rules, RuleMagic) {
+		t.Fatalf("internal/config flagged: %v", rules)
+	}
+}
+
+func TestPanicPrefixMissingFires(t *testing.T) {
+	src := `package p
+func f() { panic("bad word size") }
+`
+	rules := run(t, "internal/p/p.go", src)
+	if !has(rules, RulePanic) {
+		t.Fatalf("want %s, got %v", RulePanic, rules)
+	}
+}
+
+func TestPanicPrefixedOK(t *testing.T) {
+	src := `package p
+import "fmt"
+func f(n int) {
+	panic("p: bad state")
+	panic(fmt.Sprintf("p: bad word size %d", n))
+}
+`
+	if rules := run(t, "internal/p/p.go", src); has(rules, RulePanic) {
+		t.Fatalf("prefixed panic flagged: %v", rules)
+	}
+}
+
+func TestPanicErrValueFires(t *testing.T) {
+	src := `package p
+func f(err error) { panic(err) }
+`
+	rules := run(t, "internal/p/p.go", src)
+	if !has(rules, RulePanic) {
+		t.Fatalf("want %s for panic(err), got %v", RulePanic, rules)
+	}
+}
+
+func TestPanicSprintfWithoutPrefixFires(t *testing.T) {
+	src := `package p
+import "fmt"
+func f(n int) { panic(fmt.Sprintf("bad size %d", n)) }
+`
+	rules := run(t, "internal/p/p.go", src)
+	if !has(rules, RulePanic) {
+		t.Fatalf("want %s, got %v", RulePanic, rules)
+	}
+}
+
+func TestAllowDirectiveSuppresses(t *testing.T) {
+	src := `package p
+func f(n uint64) uint64 {
+	return n * 4096 //tmcclint:allow magic-literal
+}
+`
+	if rules := run(t, "internal/p/p.go", src); len(rules) != 0 {
+		t.Fatalf("suppressed finding reported: %v", rules)
+	}
+}
+
+func TestAllowDirectiveAboveLine(t *testing.T) {
+	src := `package p
+func f(n uint64) uint64 {
+	//tmcclint:allow
+	return n * 4096
+}
+`
+	if rules := run(t, "internal/p/p.go", src); len(rules) != 0 {
+		t.Fatalf("suppressed finding reported: %v", rules)
+	}
+}
+
+func TestAllowDirectiveWrongRuleDoesNotSuppress(t *testing.T) {
+	src := `package p
+func f(n uint64) uint64 {
+	return n * 4096 //tmcclint:allow panic-prefix
+}
+`
+	rules := run(t, "internal/p/p.go", src)
+	if !has(rules, RuleMagic) {
+		t.Fatalf("wrong-rule allow suppressed the finding: %v", rules)
+	}
+}
+
+func TestTestFilesExempt(t *testing.T) {
+	src := `package p
+import "math/rand"
+func f() int { return rand.Intn(4096) }
+`
+	if rules := run(t, "internal/p/p_test.go", src); len(rules) != 0 {
+		t.Fatalf("_test.go flagged: %v", rules)
+	}
+}
+
+func TestDiagStringFormat(t *testing.T) {
+	diags, err := Source("internal/p/p.go", "package p\nfunc f() { panic(\"x\") }\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) == 0 {
+		t.Fatal("expected a finding")
+	}
+	s := diags[0].String()
+	if !strings.HasPrefix(s, "internal/p/p.go:2:") || !strings.Contains(s, RulePanic) {
+		t.Fatalf("bad diag format: %q", s)
+	}
+}

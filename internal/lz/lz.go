@@ -17,6 +17,8 @@ package lz
 import (
 	"fmt"
 	"math/bits"
+
+	"tmcc/internal/config"
 )
 
 // MinMatch mirrors Deflate's minimum useful match.
@@ -51,7 +53,7 @@ type Compressor struct {
 // New returns a Compressor with the given CAM/window size in bytes.
 // Window must be a power of two between 256 and 4096.
 func New(window int) *Compressor {
-	if window < 256 || window > 4096 || window&(window-1) != 0 {
+	if window < 256 || window > config.PageSize || window&(window-1) != 0 {
 		panic(fmt.Sprintf("lz: invalid window %d", window))
 	}
 	offBits := uint(bits.TrailingZeros(uint(window)))
@@ -60,7 +62,7 @@ func New(window int) *Compressor {
 		offBits:  offBits,
 		maxMatch: MinMatch + (1 << (16 - offBits)) - 1,
 		head:     make([]int32, 1<<14),
-		prev:     make([]int32, 4096),
+		prev:     make([]int32, config.PageSize),
 	}
 }
 
@@ -81,7 +83,7 @@ func hash3(b []byte) uint32 {
 // greedy: at each position the longest match within the window wins
 // (ties to the nearest), matching the hardware's Select Match stage.
 func (c *Compressor) Compress(dst, src []byte) ([]byte, Stats) {
-	if len(src) > 4096 {
+	if len(src) > config.PageSize {
 		panic("lz: input larger than a page")
 	}
 	var st Stats
@@ -187,7 +189,7 @@ func (c *Compressor) matchLen(src []byte, cand, pos int) int {
 // Decompress decodes an LZ stream produced by a Compressor with the given
 // window size, writing exactly outLen bytes.
 func Decompress(enc []byte, outLen, window int) ([]byte, error) {
-	if window < 256 || window > 4096 || window&(window-1) != 0 {
+	if window < 256 || window > config.PageSize || window&(window-1) != 0 {
 		return nil, fmt.Errorf("lz: invalid window %d", window)
 	}
 	offBits := uint(bits.TrailingZeros(uint(window)))

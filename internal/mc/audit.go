@@ -1,0 +1,92 @@
+package mc
+
+import (
+	"fmt"
+
+	"tmcc/internal/config"
+)
+
+// audit verifies the O(1) chunk-conservation invariant of the two-level
+// designs: every data frame in the pool is either free on the ML1 list,
+// holding one resident uncompressed page, or owned by ML2's super-chunks.
+// It runs under the tmccdebug build tag after every migration event
+// (placement, eviction, demand ML2 read).
+func (m *MC) audit() error {
+	if m.ml1 == nil {
+		return nil // Uncompressed / Compresso: no two-level accounting
+	}
+	free := m.ml1.Len()
+	held := m.ml2.HeldChunks
+	if m.ml1Size < 0 {
+		return fmt.Errorf("ml1Size=%d negative", m.ml1Size)
+	}
+	total := uint64(m.ml1Size) + uint64(held) + uint64(free)
+	if total != m.chunkPool {
+		return fmt.Errorf("chunk leak: ml1=%d + ml2-held=%d + free=%d = %d, pool=%d",
+			m.ml1Size, held, free, total, m.chunkPool)
+	}
+	if m.ml2.UsedBytes < 0 {
+		return fmt.Errorf("ml2 UsedBytes=%d negative", m.ml2.UsedBytes)
+	}
+	if max := int64(held) * config.PageSize; m.ml2.UsedBytes > max {
+		return fmt.Errorf("ml2 UsedBytes=%d exceeds held capacity %d", m.ml2.UsedBytes, max)
+	}
+	return nil
+}
+
+// AuditPages is the deep O(pages) audit: it walks the whole page-state
+// table and checks it against the ML1/ML2 byte accounting and the CTE
+// contents the MC would serve — the metadata whose silent drift corrupts
+// capacity results. Exported for tests; simulation runs invoke it once per
+// Settle under tmccdebug.
+func (m *MC) AuditPages() error {
+	if m.ml1 == nil {
+		return nil
+	}
+	ml1Resident := 0
+	inML2 := 0
+	for ppn := range m.pages {
+		st := &m.pages[ppn]
+		if !st.placed {
+			if st.inML2 {
+				return fmt.Errorf("ppn %#x: in ML2 but never placed", ppn)
+			}
+			continue
+		}
+		e := m.CurrentCTE(uint64(ppn))
+		if st.inML2 {
+			inML2++
+			if st.incompressible {
+				return fmt.Errorf("ppn %#x: incompressible page stored in ML2", ppn)
+			}
+			if !e.InML2 {
+				return fmt.Errorf("ppn %#x: CTE disagrees with page state (InML2)", ppn)
+			}
+			// The CTE must point inside ML2-held DRAM, i.e. not into the
+			// reserved CTE table above the data pool.
+			if addr := m.ml2.Address(st.sub); addr >= m.chunkPool*config.PageSize {
+				return fmt.Errorf("ppn %#x: ML2 address %#x beyond data pool %#x",
+					ppn, addr, m.chunkPool*config.PageSize)
+			}
+		} else {
+			ml1Resident++
+			if e.InML2 {
+				return fmt.Errorf("ppn %#x: CTE claims ML2 for an ML1-resident page", ppn)
+			}
+			if e.DRAMPage != st.chunk {
+				return fmt.Errorf("ppn %#x: CTE frame %d != resident chunk %d",
+					ppn, e.DRAMPage, st.chunk)
+			}
+			if uint64(st.chunk) >= m.chunkPool {
+				return fmt.Errorf("ppn %#x: chunk %d beyond pool %d", ppn, st.chunk, m.chunkPool)
+			}
+		}
+	}
+	if ml1Resident != m.ml1Size {
+		return fmt.Errorf("ml1Size=%d but %d pages are ML1-resident", m.ml1Size, ml1Resident)
+	}
+	if err := m.ml2.Audit(); err != nil {
+		return fmt.Errorf("ml2: %w", err)
+	}
+	return m.audit()
+}

@@ -24,6 +24,7 @@ import (
 	"math/rand"
 
 	"tmcc/internal/cache"
+	"tmcc/internal/check"
 	"tmcc/internal/config"
 	"tmcc/internal/cte"
 	"tmcc/internal/ctecache"
@@ -217,12 +218,12 @@ func New(cfg Config) *MC {
 // reserveCTETable carves the linear CTE table (bytesPerPage per OS page)
 // out of the budget.
 func (m *MC) reserveCTETable(bytesPerPage uint64) {
-	tablePages := (m.cfg.OSPages*bytesPerPage + 4095) / 4096
+	tablePages := (m.cfg.OSPages*bytesPerPage + config.PageSize - 1) / config.PageSize
 	if tablePages >= m.cfg.BudgetPages {
 		panic("mc: budget smaller than CTE table")
 	}
 	m.chunkPool = m.cfg.BudgetPages - tablePages
-	m.cteTableBase = m.chunkPool * 4096
+	m.cteTableBase = m.chunkPool * config.PageSize
 }
 
 // ChunkPool reports the DRAM frames available for data after metadata
@@ -285,12 +286,15 @@ func (m *MC) Place(ppn uint64, toML2 bool) bool {
 	}
 	if toML2 && !st.incompressible {
 		size, _ := m.cfg.Sizes.PageSizes(ppn)
-		if sub, ok := m.ml2.Alloc(size); ok && size < 4096 {
+		if sub, ok := m.ml2.Alloc(size); ok && size < config.PageSize {
 			st.inML2 = true
 			st.sub = sub
+			if check.Enabled {
+				check.Invariant("mc: chunk-conservation after ML2 place", m.audit)
+			}
 			return true
 		}
-		if size >= 4096 {
+		if size >= config.PageSize {
 			st.incompressible = true
 		}
 	}
@@ -301,6 +305,9 @@ func (m *MC) Place(ppn uint64, toML2 bool) bool {
 	st.chunk = c
 	m.ml1Size++
 	m.rec.Touch(ppn)
+	if check.Enabled {
+		check.Invariant("mc: chunk-conservation after Place", m.audit)
+	}
 	return !toML2
 }
 
@@ -321,7 +328,7 @@ func (m *MC) CurrentCTE(ppn uint64) cte.Entry {
 	st := &m.pages[ppn]
 	e := cte.Entry{InML2: st.inML2, IsIncompressible: st.incompressible}
 	if st.inML2 {
-		e.DRAMPage = uint32(m.ml2.Address(st.sub) / 4096)
+		e.DRAMPage = uint32(m.ml2.Address(st.sub) / config.PageSize)
 	} else {
 		e.DRAMPage = st.chunk
 	}
@@ -329,7 +336,7 @@ func (m *MC) CurrentCTE(ppn uint64) cte.Entry {
 }
 
 func (m *MC) dataAddr(st *pageState, blockOff int) uint64 {
-	return uint64(st.chunk)*4096 + uint64(blockOff*64)
+	return uint64(st.chunk)*config.PageSize + uint64(blockOff*config.BlockSize)
 }
 
 func (m *MC) cteAddr(ppn uint64) uint64 {
@@ -401,7 +408,7 @@ func (m *MC) accessCompresso(now config.Time, st *pageState, ppn uint64, blockOf
 		// blocks).
 		if m.rng.Float64() < 0.03 {
 			for i := 0; i < 8; i++ {
-				a := m.dataAddr(st, (blockOff+i)%64)
+				a := m.dataAddr(st, (blockOff+i)%config.BlocksPage)
 				m.dram.Read(done, a)
 				m.dram.Write(done, a)
 			}
@@ -441,7 +448,7 @@ func (m *MC) accessTwoLevel(now config.Time, st *pageState, ppn uint64, blockOff
 		cteDone := m.dramOp(now, m.cteAddr(ppn), false)
 		m.Stats.CTEFetchesDRAM++
 		m.cte.Fill(ppn)
-		specAddr := uint64(embedded.DRAMPage)*4096 + uint64(blockOff*64)
+		specAddr := uint64(embedded.DRAMPage)*config.PageSize + uint64(blockOff*config.BlockSize)
 		dataDone := m.dramOp(now, specAddr, write)
 		done = maxTime(cteDone, dataDone)
 		if embedded.DRAMPage == truth.DRAMPage && !embedded.InML2 {
@@ -530,10 +537,13 @@ func (m *MC) serveML2(now config.Time, st *pageState, ppn uint64, blockOff int, 
 	wt := respond
 	for b := 0; b < 64; b++ {
 		issue := maxTime(respond, wwin[b%slots])
-		wt = m.dram.Write(issue, uint64(chunk)*4096+uint64(b*64))
+		wt = m.dram.Write(issue, uint64(chunk)*config.PageSize+uint64(b*config.BlockSize))
 		wwin[b%slots] = wt
 	}
 	m.migBuf[slot] = wt
+	if check.Enabled {
+		check.Invariant("mc: chunk-conservation after ML2 demand migration", m.audit)
+	}
 	return respond
 }
 
@@ -547,8 +557,11 @@ func (m *MC) Settle() {
 	}
 	for m.ml1.Len() < m.lowMark+64 {
 		if !m.evictOne(0) {
-			return
+			break
 		}
+	}
+	if check.Enabled {
+		check.Invariant("mc: page-table/CTE accounting after Settle", m.AuditPages)
 	}
 }
 
@@ -586,7 +599,7 @@ func (m *MC) evictOne(now config.Time) bool {
 			continue
 		}
 		size, _ := m.cfg.Sizes.PageSizes(ppn)
-		if size >= 4096 {
+		if size >= config.PageSize {
 			// Incompressible: retain in ML1, drop from the Recency List so
 			// we do not repeatedly recompress it (Section IV-B).
 			st.incompressible = true
@@ -617,6 +630,9 @@ func (m *MC) evictOne(now config.Time) bool {
 		st.sub = sub
 		m.ml1Size--
 		m.Stats.ML1ToML2++
+		if check.Enabled {
+			check.Invariant("mc: chunk-conservation after eviction", m.audit)
+		}
 		return true
 	}
 }

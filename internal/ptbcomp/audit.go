@@ -1,0 +1,41 @@
+package ptbcomp
+
+import (
+	"fmt"
+
+	"tmcc/internal/config"
+)
+
+// auditRoundTrip proves that the in-cache representation really fits the
+// hardware's 64B PTB: Pack must succeed within ptbBits, and Unpack(Pack(cp))
+// must reproduce the status bits, every truncated PPN, and each embedded CTE
+// slot the geometry keeps. It runs under the tmccdebug build tag after
+// Compress and Embed via check.Invariant.
+func (c Config) auditRoundTrip(cp *Compressed) error {
+	raw, err := c.Pack(cp)
+	if err != nil {
+		return err
+	}
+	if len(raw) != config.BlockSize {
+		return fmt.Errorf("packed PTB is %dB, want %d", len(raw), config.BlockSize)
+	}
+	got, err := c.Unpack(raw)
+	if err != nil {
+		return err
+	}
+	if got.Status != cp.Status {
+		return fmt.Errorf("status %#x round-tripped to %#x", cp.Status, got.Status)
+	}
+	for i := range cp.PPNs {
+		if got.PPNs[i] != cp.PPNs[i] {
+			return fmt.Errorf("ppn[%d] %#x round-tripped to %#x", i, cp.PPNs[i], got.PPNs[i])
+		}
+	}
+	for i := 0; i < c.MaxEmbeddable(); i++ {
+		if got.HasCTE[i] != cp.HasCTE[i] || got.CTEs[i] != cp.CTEs[i] {
+			return fmt.Errorf("cte[%d] (%v, %#x) round-tripped to (%v, %#x)",
+				i, cp.HasCTE[i], cp.CTEs[i], got.HasCTE[i], got.CTEs[i])
+		}
+	}
+	return nil
+}

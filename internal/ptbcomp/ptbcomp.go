@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"math/bits"
 
+	"tmcc/internal/check"
+	"tmcc/internal/config"
 	"tmcc/internal/cte"
 	"tmcc/internal/pagetable"
 )
@@ -35,8 +37,8 @@ type Config struct {
 // NewConfig derives widths from installed sizes in bytes.
 func NewConfig(osMemBytes, dramPerMCBytes uint64) Config {
 	return Config{
-		OSPPNBits: log2ceil(osMemBytes / 4096),
-		CTEBits:   log2ceil(dramPerMCBytes / 4096),
+		OSPPNBits: log2ceil(osMemBytes / config.PageSize),
+		CTEBits:   log2ceil(dramPerMCBytes / config.PageSize),
 	}
 }
 
@@ -51,7 +53,7 @@ func log2ceil(v uint64) int {
 // truncated PPNs and the shared status bits. The paper's examples: 8 CTEs
 // with 1TB per MC and 4TB OS memory, 7 at 4TB DRAM, 6 at 16TB DRAM.
 func (c Config) MaxEmbeddable() int {
-	free := ptbBits - statusBits - 8*c.OSPPNBits
+	free := ptbBits - statusBits - config.PTEsPerPTB*c.OSPPNBits
 	n := free / (c.CTEBits + 1) // +1 for each slot's valid bit
 	if n > 8 {
 		n = 8
@@ -101,6 +103,9 @@ func (c Config) Compress(ptes *[8]uint64) (*Compressed, bool) {
 	for i, pte := range ptes {
 		out.PPNs[i] = pagetable.PPN(pte)
 	}
+	if check.Enabled {
+		check.Invariant("ptbcomp: 64B fit after Compress", func() error { return c.auditRoundTrip(out) })
+	}
 	return out, true
 }
 
@@ -112,6 +117,9 @@ func (c Config) Embed(cp *Compressed, i int, e cte.Entry) bool {
 	}
 	cp.CTEs[i] = e.Truncated(c.CTEBits)
 	cp.HasCTE[i] = true
+	if check.Enabled {
+		check.Invariant("ptbcomp: 64B fit after Embed", func() error { return c.auditRoundTrip(cp) })
+	}
 	return true
 }
 
@@ -132,7 +140,7 @@ func (cp *Compressed) Decompress() [8]uint64 {
 // | N valid bits, MSB-first.
 func (c Config) Pack(cp *Compressed) ([]byte, error) {
 	n := c.MaxEmbeddable()
-	need := statusBits + 8*c.OSPPNBits + n*c.CTEBits + n
+	need := statusBits + config.PTEsPerPTB*c.OSPPNBits + n*c.CTEBits + n
 	if need > ptbBits {
 		return nil, fmt.Errorf("ptbcomp: layout needs %d bits > %d", need, ptbBits)
 	}

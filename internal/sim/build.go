@@ -30,10 +30,10 @@ type Plan struct {
 // benchmark: block-compressed pages in 512B chunks plus the 64B-per-page
 // metadata table over the OS physical space (Table IV column B).
 func CompressoBudgetPages(footprint uint64, sizes *workload.SizeModel) uint64 {
-	data := uint64(float64(footprint)*sizes.MeanCompressoPageBytes()/4096) + 1
+	data := uint64(float64(footprint)*sizes.MeanCompressoPageBytes()/config.PageSize) + 1
 	// OS physical space is 4x the budget; solve usage = data + os*64/4096
 	// with os = 4*usage: usage = data / (1 - 4*64/4096).
-	usage := float64(data) / (1 - 4*64.0/4096)
+	usage := float64(data) / (1 - 4*config.BlockSize/float64(config.PageSize))
 	return uint64(usage) + 1
 }
 
@@ -60,7 +60,7 @@ func NewRunner(opt Options) (*Runner, error) {
 		budget = spec.FootprintPages + spec.FootprintPages/256 + 64
 	}
 	osPages := budget * uint64(sys.Comp.OSExpansion)
-	if min := spec.FootprintPages + spec.FootprintPages/64 + 1024; osPages < min {
+	if min := spec.FootprintPages + spec.FootprintPages/64 + 1024; osPages < min { //tmcclint:allow magic-literal (table-page slack heuristic)
 		osPages = min
 	}
 
@@ -86,14 +86,14 @@ func NewRunner(opt Options) (*Runner, error) {
 			comp = config.Time(sizes.MeanCompressPS)
 		} else {
 			m := ibmdeflate.Default()
-			half = m.HalfPageLatency(4096)
-			comp = m.CompressLatency(4096)
+			half = m.HalfPageLatency(config.PageSize)
+			comp = m.CompressLatency(config.PageSize)
 		}
 	}
 
 	if opt.Virtualized {
 		// The host pool must cover every guest-physical page.
-		if min := spec.FootprintPages + spec.FootprintPages/32 + 4096; osPages < min {
+		if min := spec.FootprintPages + spec.FootprintPages/32 + 4096; osPages < min { //tmcclint:allow magic-literal (slack pages, not the page size)
 			osPages = min
 		}
 	}
@@ -123,7 +123,7 @@ func NewRunner(opt Options) (*Runner, error) {
 		cycle: sys.CPU.Cycle(),
 		noc:   sys.DRAM.NoCLatency,
 	}
-	r.pcfg = ptbcomp.NewConfig(osPages*4096, uint64(sys.Comp.DRAMPerMCTB)<<40)
+	r.pcfg = ptbcomp.NewConfig(osPages*config.PageSize, uint64(sys.Comp.DRAMPerMCTB)<<40)
 
 	if opt.Virtualized {
 		buildVirt(r, osPages, opt.Seed)

@@ -1,0 +1,43 @@
+package sim
+
+import (
+	"testing"
+
+	"tmcc/internal/mc"
+)
+
+// TestDeterminismAllKinds is the regression test for the simulator's
+// seeded-RNG plumbing: every design, including the virtualized TMCC path,
+// must produce bit-identical Metrics when run twice with the same seed.
+// Any global math/rand or wall-clock leak (also policed statically by
+// cmd/tmcclint) shows up here as a diff.
+func TestDeterminismAllKinds(t *testing.T) {
+	cases := []struct {
+		name string
+		opt  Options
+	}{
+		{"compresso", Options{Benchmark: "canneal", Kind: mc.Compresso}},
+		{"os-inspired", Options{Benchmark: "mcf", Kind: mc.OSInspired}},
+		{"tmcc", Options{Benchmark: "canneal", Kind: mc.TMCC}},
+		{"tmcc-virt", Options{Benchmark: "canneal", Kind: mc.TMCC, Virtualized: true}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			opt := tc.opt
+			opt.WarmupAccesses = 20000
+			opt.MeasureAccesses = 20000
+			opt.Seed = 7
+			run := func() Metrics {
+				r, err := NewRunner(opt)
+				if err != nil {
+					t.Fatalf("NewRunner: %v", err)
+				}
+				return r.Run()
+			}
+			a, b := run(), run()
+			if a != b {
+				t.Errorf("same seed, different metrics:\n%+v\n%+v", a, b)
+			}
+		})
+	}
+}

@@ -125,7 +125,7 @@ func (r *Runner) step(c *core) {
 		c.time = t
 		return
 	}
-	block := ppn*64 + uint64(blockOff)
+	block := ppn*config.BlocksPage + uint64(blockOff)
 	done := r.memAccess(c, t, block, a.Write, false, walkRelated)
 	if a.Dep {
 		c.dep = done
@@ -155,7 +155,7 @@ func (r *Runner) walk(c *core, t config.Time, vpn uint64) config.Time {
 		if r.recording {
 			r.m.WalkRefs++
 		}
-		block := s.PTBAddr / 64
+		block := s.PTBAddr / config.BlockSize
 		t = r.memAccess(c, t, block, false, true, true)
 		if r.opt.Kind == mc.TMCC && !r.opt.DisableEmbed {
 			r.loadCTEBuffer(c, s.PTBAddr)
@@ -203,8 +203,8 @@ func (r *Runner) memAccess(c *core, t config.Time, block uint64, write, isPTB, w
 	if r.recording {
 		r.m.LLCMisses++
 	}
-	ppn := block / 64
-	off := int(block % 64)
+	ppn := block / config.BlocksPage
+	off := int(block % config.BlocksPage)
 
 	var embedded *cte.Entry
 	if r.opt.Kind == mc.TMCC && !r.opt.DisableEmbed {
@@ -295,7 +295,7 @@ func (r *Runner) writeback(block uint64, now config.Time) {
 	if r.recording {
 		r.m.Writebacks++
 	}
-	r.mcc.Access(now, block/64, int(block%64), true, nil, false)
+	r.mcc.Access(now, block/config.BlocksPage, int(block%config.BlocksPage), true, nil, false)
 }
 
 // prefetch runs the L2 next-line and stride prefetchers on a demand miss.
@@ -307,7 +307,7 @@ func (r *Runner) prefetch(c *core, now config.Time, block uint64) {
 	cands := []uint64{cache.NextLine(block)}
 	cands = append(cands, c.stride.Observe(block)...)
 	for _, nb := range cands {
-		if nb/64 != block/64 {
+		if nb/config.BlocksPage != block/config.BlocksPage {
 			continue // stay within the page: no extra translation
 		}
 		if c.l2.Probe(nb) || r.l3.Probe(nb) {

@@ -26,7 +26,7 @@ func buildVirt(r *Runner, osPages uint64, seed int64) {
 	spec := r.spec
 	// Guest table: vpn -> gpn over a guest-physical pool sized to the
 	// footprint plus guest page tables.
-	guestPool := spec.FootprintPages + spec.FootprintPages/64 + 2048
+	guestPool := spec.FootprintPages + spec.FootprintPages/64 + 2048 //tmcclint:allow magic-literal (table-page slack heuristic)
 	gCfg := pagetable.DefaultOSConfig(seed + 5)
 	guest := pagetable.BuildAddressSpace(spec.FootprintPages, guestPool, gCfg)
 	// Host table: gpn -> hpn. Every guest-physical page is host-mapped;
@@ -78,7 +78,7 @@ func (r *Runner) hostWalk(c *core, t config.Time, gpn uint64) config.Time {
 		if r.recording {
 			r.m.WalkRefs++
 		}
-		t = r.memAccess(c, t, s.PTBAddr/64, false, true, true)
+		t = r.memAccess(c, t, s.PTBAddr/config.BlockSize, false, true, true)
 		if r.opt.Kind == mc.TMCC && !r.opt.DisableEmbed {
 			r.loadCTEBuffer(c, s.PTBAddr)
 		}
@@ -108,7 +108,7 @@ func (r *Runner) walk2D(c *core, t config.Time, vpn uint64) (config.Time, uint64
 		if r.recording {
 			r.m.WalkRefs++
 		}
-		t = r.memAccess(c, t, hostAddr/64, false, true, true)
+		t = r.memAccess(c, t, hostAddr/config.BlockSize, false, true, true)
 	}
 	// Final host walk for the data page itself.
 	t = r.hostWalk(c, t, gpn)

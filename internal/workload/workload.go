@@ -12,6 +12,8 @@ package workload
 
 import (
 	"math/rand"
+
+	"tmcc/internal/config"
 )
 
 // Access is one memory operation of the trace.
@@ -77,8 +79,8 @@ var specs = map[string]Spec{
 	"shortestPath": {FootprintPages: 258048, SeqRun: 4, HotFrac: 0.72, HotPages: 16384, Reuse: 0.62, WarmPages: 24576, ColdJump: 0.05, WriteFrac: 0.30, GapMean: 30},
 	"bfs":          {FootprintPages: 258048, SeqRun: 6, HotFrac: 0.84, HotPages: 12288, Reuse: 0.74, WarmPages: 16384, ColdJump: 0.02, WriteFrac: 0.22, GapMean: 100},
 	"dfs":          {FootprintPages: 258048, SeqRun: 5, HotFrac: 0.84, HotPages: 12288, Reuse: 0.73, PointerChase: true, WarmPages: 16384, ColdJump: 0.02, WriteFrac: 0.22, GapMean: 100},
-	"kcore":        {FootprintPages: 258048, SeqRun: 16, HotFrac: 0.96, HotPages: 4096, Reuse: 0.82, WarmPages: 8192, ColdJump: 0.01, WriteFrac: 0.20, GapMean: 120},
-	"triCount":     {FootprintPages: 264192, SeqRun: 18, HotFrac: 0.96, HotPages: 4096, Reuse: 0.84, WarmPages: 8192, ColdJump: 0.01, WriteFrac: 0.10, GapMean: 132},
+	"kcore":        {FootprintPages: 258048, SeqRun: 16, HotFrac: 0.96, HotPages: 4096, Reuse: 0.82, WarmPages: 8192, ColdJump: 0.01, WriteFrac: 0.20, GapMean: 120}, //tmcclint:allow magic-literal (hot-set page count)
+	"triCount":     {FootprintPages: 264192, SeqRun: 18, HotFrac: 0.96, HotPages: 4096, Reuse: 0.84, WarmPages: 8192, ColdJump: 0.01, WriteFrac: 0.10, GapMean: 132}, //tmcclint:allow magic-literal (hot-set page count)
 	// SPEC CPU2017 (four instances of the single-threaded benchmark; the
 	// aggregate footprint is modeled), scaled like the rest.
 	"mcf":     {FootprintPages: 98304, SeqRun: 3, HotFrac: 0.85, HotPages: 8192, Reuse: 0.70, PointerChase: true, WarmPages: 8192, ColdJump: 0.03, WriteFrac: 0.25, GapMean: 80},
@@ -189,7 +191,7 @@ func (t *Trace) Next() Access {
 			Gap:   t.gap(),
 		}
 	}
-	vaddr := (t.vbase+t.curPage)*4096 + uint64(t.curBlock*64)
+	vaddr := (t.vbase+t.curPage)*config.PageSize + uint64(t.curBlock*config.BlockSize)
 	t.hist[t.histNext] = vaddr
 	t.histNext = (t.histNext + 1) % len(t.hist)
 	if t.histN < len(t.hist) {
@@ -263,8 +265,8 @@ func (m *SizeModel) PageSizes(ppn uint64) (deflate, block int) {
 func (m *SizeModel) MeanCompressoPageBytes() float64 {
 	round := func(v int) float64 {
 		r := (v + 511) / 512 * 512
-		if r > 4096 {
-			r = 4096
+		if r > config.PageSize {
+			r = config.PageSize
 		}
 		return float64(r)
 	}
@@ -284,7 +286,7 @@ func (m *SizeModel) MeanML2ChunkFraction(classFor func(size int) (subSize int, o
 	var sum float64
 	for _, v := range m.deflateSizes {
 		if sub, ok := classFor(v); ok {
-			sum += float64(sub) / 4096
+			sum += float64(sub) / config.PageSize
 		} else {
 			sum += 1.0
 		}
@@ -292,7 +294,7 @@ func (m *SizeModel) MeanML2ChunkFraction(classFor func(size int) (subSize int, o
 	sum /= float64(len(m.deflateSizes))
 	// Zero pages land in the smallest class.
 	if sub, ok := classFor(64); ok {
-		return sum*(1-m.zeroFrac) + float64(sub)/4096*m.zeroFrac
+		return sum*(1-m.zeroFrac) + float64(sub)/config.PageSize*m.zeroFrac
 	}
 	return sum
 }

@@ -20,11 +20,19 @@
 package tmcc
 
 import (
+	"tmcc/internal/config"
 	"tmcc/internal/exp"
 	"tmcc/internal/mc"
 	"tmcc/internal/memdeflate"
 	"tmcc/internal/sim"
 	"tmcc/internal/workload"
+)
+
+// Architectural granularities of the simulated machine, re-exported for
+// callers that slice dumps into pages and blocks.
+const (
+	PageSize  = config.PageSize  // bytes per OS page (compression unit)
+	BlockSize = config.BlockSize // bytes per memory block / cacheline
 )
 
 // Design selects a memory-controller design for Simulate.
