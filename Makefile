@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint test race debug fuzz-smoke fmt
+.PHONY: all build lint test race debug fuzz-smoke fmt bench engine-smoke
 
 all: lint test
 
@@ -34,3 +34,20 @@ fuzz-smoke:
 
 fmt:
 	gofmt -w .
+
+# bench runs every microbenchmark once (compile/shape check); pass
+# BENCHTIME=2s for real numbers. BENCH_engine.json records the measured
+# engine + LZ wins for this machine.
+BENCHTIME ?= 1x
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime $(BENCHTIME) ./...
+
+# engine-smoke proves the -j guarantee end to end: the full quick
+# experiment suite rendered as CSV must be byte-identical with a parallel
+# engine and with a serial one.
+engine-smoke:
+	$(GO) build -o /tmp/tmccsim ./cmd/tmccsim
+	/tmp/tmccsim -all -quick -format csv -j 4 -stats > /tmp/tmccsim_j4.csv
+	/tmp/tmccsim -all -quick -format csv -j 1 > /tmp/tmccsim_j1.csv
+	diff -u /tmp/tmccsim_j1.csv /tmp/tmccsim_j4.csv
+	@echo "engine-smoke: -j 1 and -j 4 outputs are byte-identical"

@@ -6,7 +6,12 @@
 //
 //	tmccsim -list
 //	tmccsim -exp fig17
-//	tmccsim -all [-quick] [-seed 42]
+//	tmccsim -all [-quick] [-seed 42] [-j 4] [-stats]
+//
+// All experiments run through the shared engine in internal/exp/engine:
+// -j bounds the simulation worker pool, and identical simulation points
+// requested by different experiments execute once per process. Output is
+// byte-identical for every -j value.
 package main
 
 import (
@@ -14,9 +19,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"tmcc/internal/exp"
+	"tmcc/internal/exp/engine"
 )
 
 func main() {
@@ -27,10 +35,25 @@ func main() {
 		quick  = flag.Bool("quick", false, "shorter windows (CI-sized)")
 		seed   = flag.Int64("seed", 42, "simulation seed")
 		format = flag.String("format", "text", "output format: text | markdown | csv")
+		jobs   = flag.Int("j", runtime.GOMAXPROCS(0), "parallel simulation workers")
+		stats  = flag.Bool("stats", false, "per-run progress lines on stderr and engine counters at exit")
 	)
 	flag.Parse()
 
 	cfg := exp.Config{Seed: *seed, Quick: *quick}
+
+	// The engine itself never reads the wall clock (internal/ stays
+	// deterministic); the clock is injected here, for accounting only.
+	eng := exp.Engine()
+	eng.SetWorkers(*jobs)
+	eng.SetClock(func() int64 { return time.Now().UnixNano() })
+	if *stats {
+		eng.SetProgress(func(r engine.Run) {
+			fmt.Fprintf(os.Stderr, "run %4d  %-16s %-14v %8.2fs\n",
+				r.Seq, r.Opt.Benchmark, r.Opt.Kind, float64(r.Nanos)/1e9)
+		})
+	}
+	start := time.Now()
 
 	switch {
 	case *list:
@@ -50,6 +73,10 @@ func main() {
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *stats {
+		printStats(os.Stderr, eng.Stats(), *jobs, time.Since(start))
 	}
 }
 
@@ -73,4 +100,17 @@ func run(w io.Writer, id string, cfg exp.Config, format string) error {
 		fmt.Fprintln(w, t.String())
 	}
 	return nil
+}
+
+// printStats renders the engine counters; split from main for the smoke test.
+func printStats(w io.Writer, st engine.Stats, workers int, wall time.Duration) {
+	fmt.Fprintf(w, "engine: %d workers, %d runs executed, %d cache hits (%d coalesced in flight)\n",
+		workers, st.Runs, st.Hits, st.Coalesced)
+	simTime := time.Duration(st.RunNanos)
+	mean := time.Duration(0)
+	if st.Runs > 0 {
+		mean = simTime / time.Duration(st.Runs)
+	}
+	fmt.Fprintf(w, "engine: %v simulation time across workers (%v mean per run), %v wall clock\n",
+		simTime.Round(time.Millisecond), mean.Round(time.Millisecond), wall.Round(time.Millisecond))
 }

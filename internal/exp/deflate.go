@@ -46,21 +46,25 @@ var dumpSuites = []string{
 // 4KB pages via the cycle model, against the analytic IBM ASIC model.
 // Paper: ours 662/277/140 ns and 17.2/14.8 GB/s; IBM 1050/1100/878 ns and
 // 3.9/3.7 GB/s.
+//
+// The suites compress in parallel on the engine pool (each worker owns its
+// codec; page content depends only on the per-suite seed); the per-page
+// timings are then accumulated serially in suite-major order, so the
+// floating-point sums are bit-identical to a serial run.
 func Tab2(cfg Config) (*Table, error) {
 	t := &Table{
 		ID:     "tab2",
 		Title:  "Deflate performance for 4KB memory pages",
 		Header: []string{"module", "latency-ns", "half-page-ns", "throughput-GB/s"},
 	}
-	codec := memdeflate.New(memdeflate.DefaultParams())
 	n := 400
 	if cfg.Quick {
 		n = 80
 	}
-	var sumC, sumD, sumH, sumOccC, sumOccD float64
-	pages := 0
-	for si, suite := range dumpSuites {
-		prof, _ := content.ProfileFor(suite)
+	perSuite := make([][]memdeflate.Timing, len(dumpSuites))
+	eng.Map(len(dumpSuites), func(si int) {
+		codec := memdeflate.New(memdeflate.DefaultParams())
+		prof, _ := content.ProfileFor(dumpSuites[si])
 		gen := prof.Generator(cfg.Seed + int64(si))
 		for i := 0; i < n/len(dumpSuites); i++ {
 			page := gen.Page()
@@ -68,7 +72,13 @@ func Tab2(cfg Config) (*Table, error) {
 				continue
 			}
 			_, st, _ := codec.Compress(page)
-			tm := codec.Timing(st)
+			perSuite[si] = append(perSuite[si], codec.Timing(st))
+		}
+	})
+	var sumC, sumD, sumH, sumOccC, sumOccD float64
+	pages := 0
+	for _, tms := range perSuite {
+		for _, tm := range tms {
 			sumC += float64(tm.CompressLatency) / 1000
 			sumD += float64(tm.DecompressLatency) / 1000
 			sumH += float64(tm.HalfPageLatency) / 1000
@@ -106,6 +116,8 @@ func allZero(p []byte) bool {
 // pages removed, as in the paper's gcore methodology) under block-level
 // composite compression, our Deflate (with and without dynamic Huffman
 // skipping), and software Deflate. Paper: 1.51x / 3.4x / 3.6x / ~12% above.
+// Each suite is one row computed from integer byte totals, so the suites
+// run in parallel and the rows are appended in suite order.
 func Fig15(cfg Config) (*Table, error) {
 	t := &Table{
 		ID:     "fig15",
@@ -119,13 +131,14 @@ func Fig15(cfg Config) (*Table, error) {
 	if cfg.Quick {
 		n = 120
 	}
-	plain := memdeflate.New(memdeflate.DefaultParams())
-	skipP := memdeflate.DefaultParams()
-	skipP.DynamicSkip = true
-	skip := memdeflate.New(skipP)
-	best := blockcomp.NewBest()
-	for si, suite := range dumpSuites {
-		prof, _ := content.ProfileFor(suite)
+	rows := make([][]float64, len(dumpSuites))
+	eng.Map(len(dumpSuites), func(si int) {
+		plain := memdeflate.New(memdeflate.DefaultParams())
+		skipP := memdeflate.DefaultParams()
+		skipP.DynamicSkip = true
+		skip := memdeflate.New(skipP)
+		best := blockcomp.NewBest()
+		prof, _ := content.ProfileFor(dumpSuites[si])
 		gen := prof.Generator(cfg.Seed + 100 + int64(si))
 		var in, outBlk, outMD, outSkip, outGz int
 		for i := 0; i < n; i++ {
@@ -151,11 +164,14 @@ func Fig15(cfg Config) (*Table, error) {
 			}
 			outGz += g
 		}
-		t.Add(suite,
-			float64(in)/float64(outBlk),
-			float64(in)/float64(outMD),
-			float64(in)/float64(outSkip),
-			float64(in)/float64(outGz))
+		rows[si] = []float64{
+			float64(in) / float64(outBlk),
+			float64(in) / float64(outMD),
+			float64(in) / float64(outSkip),
+			float64(in) / float64(outGz)}
+	})
+	for si, suite := range dumpSuites {
+		t.Add(suite, rows[si]...)
 	}
 	t.GeoMean("geomean")
 	return t, nil
@@ -163,7 +179,8 @@ func Fig15(cfg Config) (*Table, error) {
 
 // AblationCAM sweeps the LZ CAM (window) size, the paper's Section V-B2
 // exploration: a 1KB CAM loses only ~1.6% ratio versus 4KB; smaller CAMs
-// degrade much more.
+// degrade much more. The window sizes are measured in parallel, one codec
+// per worker.
 func AblationCAM(cfg Config) (*Table, error) {
 	t := &Table{
 		ID:     "ablation-cam",
@@ -175,11 +192,11 @@ func AblationCAM(cfg Config) (*Table, error) {
 	if cfg.Quick {
 		n = 60
 	}
-	ratios := map[int]float64{}
 	sizesList := []int{256, 512, 1024, 2048, config.PageSize}
-	for _, w := range sizesList {
+	ratios := make([]float64, len(sizesList))
+	eng.Map(len(sizesList), func(wi int) {
 		p := memdeflate.DefaultParams()
-		p.WindowSize = w
+		p.WindowSize = sizesList[wi]
 		codec := memdeflate.New(p)
 		var in, out int
 		for si, suite := range dumpSuites {
@@ -195,16 +212,17 @@ func AblationCAM(cfg Config) (*Table, error) {
 				out += s
 			}
 		}
-		ratios[w] = float64(in) / float64(out)
-	}
-	for _, w := range sizesList {
-		t.Add(fmtInt(w), ratios[w], ratios[w]/ratios[config.PageSize])
+		ratios[wi] = float64(in) / float64(out)
+	})
+	for wi, w := range sizesList {
+		t.Add(fmtInt(w), ratios[wi], ratios[wi]/ratios[len(sizesList)-1])
 	}
 	return t, nil
 }
 
 // AblationTree sweeps the reduced-Huffman depth limit and the dynamic-skip
 // flag (Section V-B1: the 16-leaf tree costs ~1% ratio; skipping adds ~5%).
+// The six codec configurations are measured in parallel.
 func AblationTree(cfg Config) (*Table, error) {
 	t := &Table{
 		ID:     "ablation-tree",
@@ -233,17 +251,27 @@ func AblationTree(cfg Config) (*Table, error) {
 		}
 		return float64(in) / float64(out)
 	}
+	type variant struct {
+		name string
+		p    memdeflate.Params
+	}
+	var variants []variant
 	for _, depth := range []int{4, 6, 8, 12} {
 		p := memdeflate.DefaultParams()
 		p.MaxTreeDepth = depth
-		t.Add(fmtInt(depth)+"-deep", measure(p))
+		variants = append(variants, variant{fmtInt(depth) + "-deep", p})
 	}
 	p := memdeflate.DefaultParams()
 	p.DynamicSkip = true
-	t.Add("default+skip", measure(p))
+	variants = append(variants, variant{"default+skip", p})
 	p = memdeflate.DefaultParams()
 	p.OnePointOne = true
-	t.Add("1.1-pass", measure(p))
+	variants = append(variants, variant{"1.1-pass", p})
+	ratios := make([]float64, len(variants))
+	eng.Map(len(variants), func(i int) { ratios[i] = measure(variants[i].p) })
+	for i, v := range variants {
+		t.Add(v.name, ratios[i])
+	}
 	t.Notes = append(t.Notes, "1.1-pass approximates frequencies on a prefix; it hurts 4KB pages (Section V-B3)")
 	return t, nil
 }
@@ -252,7 +280,8 @@ func AblationTree(cfg Config) (*Table, error) {
 // design against a general-purpose full-canonical-tree design built in the
 // same pipeline — demonstrating mechanically (not just via the analytic IBM
 // model) that serial tree construction/restoration is the setup bottleneck
-// the reduced tree removes (Section V-B1).
+// the reduced tree removes (Section V-B1). The two designs are measured in
+// parallel; each keeps its serial accumulation order internally.
 func AblationGeneralPurpose(cfg Config) (*Table, error) {
 	t := &Table{
 		ID:     "ablation-gp",
@@ -266,9 +295,11 @@ func AblationGeneralPurpose(cfg Config) (*Table, error) {
 	if cfg.Quick {
 		n = 60
 	}
-	for _, gp := range []bool{false, true} {
+	designs := []bool{false, true}
+	rows := make([][]float64, len(designs))
+	eng.Map(len(designs), func(di int) {
 		p := memdeflate.DefaultParams()
-		p.GeneralPurpose = gp
+		p.GeneralPurpose = designs[di]
 		codec := memdeflate.New(p)
 		var in, out int
 		var dec, half, comp float64
@@ -291,12 +322,15 @@ func AblationGeneralPurpose(cfg Config) (*Table, error) {
 				pages++
 			}
 		}
+		fp := float64(pages)
+		rows[di] = []float64{float64(in) / float64(out), dec / fp, half / fp, comp / fp}
+	})
+	for di, gp := range designs {
 		name := "reduced-16-leaf"
 		if gp {
 			name = "general-purpose"
 		}
-		fp := float64(pages)
-		t.Add(name, float64(in)/float64(out), dec/fp, half/fp, comp/fp)
+		t.Add(name, rows[di]...)
 	}
 	return t, nil
 }

@@ -1,0 +1,223 @@
+// Package engine schedules the experiment harness's simulator runs. The
+// evaluation experiments (package exp) are embarrassingly parallel — every
+// simulation is deterministic, seeded, and shares no state with its peers —
+// and several figures re-simulate the same (benchmark, design, windows,
+// seed) points. The engine exploits both properties:
+//
+//   - a bounded worker pool (default runtime.GOMAXPROCS) executes
+//     independent sim.NewRunner(...).Run() jobs concurrently;
+//   - a memoizing singleflight layer keyed on the canonicalized Options
+//     tuple computes each distinct simulation exactly once per process,
+//     coalescing concurrent duplicate requests onto the in-flight run;
+//   - results are collected by submission index (RunAll), so experiment
+//     tables are byte-identical to a serial run regardless of scheduling.
+//
+// Per-run wall-clock accounting is injected (SetClock) because simulator
+// code under internal/ must not read the host clock (tmcclint
+// determinism-wallclock); cmd/tmccsim supplies time.Now.
+package engine
+
+import (
+	"runtime"
+	"sync"
+
+	"tmcc/internal/config"
+	"tmcc/internal/sim"
+)
+
+// Key is the canonical identity of one simulation: the full Options tuple
+// with the CTEOverride pointer replaced by its pointed-to value, so two
+// Options that request the same CTE geometry through different pointers
+// memoize to the same entry.
+type Key struct {
+	Opt    sim.Options // CTEOverride cleared; its value lives in CTE/HasCTE
+	CTE    config.CTECacheCfg
+	HasCTE bool
+}
+
+// KeyOf canonicalizes opt into its memoization key.
+func KeyOf(opt sim.Options) Key {
+	k := Key{Opt: opt}
+	if opt.CTEOverride != nil {
+		k.CTE, k.HasCTE = *opt.CTEOverride, true
+		k.Opt.CTEOverride = nil
+	}
+	return k
+}
+
+// Stats counts what the engine did. Deduped work is Hits+Coalesced; the
+// acceptance bar for the harness is that every duplicate (benchmark,
+// design, windows, seed) simulation lands there, never in Runs.
+type Stats struct {
+	Runs      uint64 // simulations actually executed
+	Hits      uint64 // requests served from a completed memo entry
+	Coalesced uint64 // duplicate requests that waited on an in-flight run
+	RunNanos  int64  // wall time summed over executed runs (0 without a clock)
+}
+
+// Run describes one executed simulation, delivered to the progress hook.
+type Run struct {
+	Seq   uint64 // 1-based execution count at completion
+	Opt   sim.Options
+	Nanos int64 // wall time of this run (0 without a clock)
+	Err   error
+}
+
+type call struct {
+	done  chan struct{}
+	m     sim.Metrics
+	err   error
+	nanos int64
+}
+
+// Engine is a bounded, memoizing scheduler for simulator runs. The zero
+// value is not usable; call New. All methods are safe for concurrent use,
+// except SetWorkers/SetClock/SetProgress, which must be called while no
+// jobs are in flight.
+type Engine struct {
+	sem  chan struct{}
+	now  func() int64 // nanosecond wall clock, injected by the CLI
+	prog func(Run)
+	exec func(sim.Options) (sim.Metrics, error) // swapped by unit tests
+
+	mu    sync.Mutex
+	memo  map[Key]*call
+	stats Stats
+}
+
+// New returns an engine with the given worker-pool width; workers <= 0
+// selects runtime.GOMAXPROCS(0).
+func New(workers int) *Engine {
+	e := &Engine{
+		memo: map[Key]*call{},
+		exec: execute,
+	}
+	e.SetWorkers(workers)
+	return e
+}
+
+func execute(opt sim.Options) (sim.Metrics, error) {
+	r, err := sim.NewRunner(opt)
+	if err != nil {
+		return sim.Metrics{}, err
+	}
+	return r.Run(), nil
+}
+
+// SetWorkers resizes the worker pool; n <= 0 selects runtime.GOMAXPROCS(0).
+func (e *Engine) SetWorkers(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	e.sem = make(chan struct{}, n)
+}
+
+// Workers returns the worker-pool width.
+func (e *Engine) Workers() int { return cap(e.sem) }
+
+// SetClock injects a nanosecond wall clock for per-run timing; nil (the
+// default) disables timing. Simulator results never depend on it.
+func (e *Engine) SetClock(now func() int64) { e.now = now }
+
+// SetProgress installs a hook invoked after every executed (non-memoized)
+// run. The hook may be called from multiple goroutines.
+func (e *Engine) SetProgress(fn func(Run)) { e.prog = fn }
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Run executes (or recalls) one simulation. Identical Options — after Key
+// canonicalization — simulate exactly once per process: later callers get
+// the memoized Metrics, and callers arriving while the run is in flight
+// block on it rather than duplicating the work.
+func (e *Engine) Run(opt sim.Options) (sim.Metrics, error) {
+	k := KeyOf(opt)
+	e.mu.Lock()
+	if c, ok := e.memo[k]; ok {
+		select {
+		case <-c.done:
+			e.stats.Hits++
+		default:
+			e.stats.Coalesced++
+		}
+		e.mu.Unlock()
+		<-c.done
+		return c.m, c.err
+	}
+	c := &call{done: make(chan struct{})}
+	e.memo[k] = c
+	e.mu.Unlock()
+
+	e.sem <- struct{}{}
+	var start int64
+	if e.now != nil {
+		start = e.now()
+	}
+	c.m, c.err = e.exec(opt)
+	if e.now != nil {
+		c.nanos = e.now() - start
+	}
+	<-e.sem
+	close(c.done)
+
+	e.mu.Lock()
+	e.stats.Runs++
+	e.stats.RunNanos += c.nanos
+	seq := e.stats.Runs
+	prog := e.prog
+	e.mu.Unlock()
+	if prog != nil {
+		prog(Run{Seq: seq, Opt: opt, Nanos: c.nanos, Err: c.err})
+	}
+	return c.m, c.err
+}
+
+// RunAll submits every job up front, executes them on the worker pool, and
+// returns the results in submission order — deterministic assembly: the
+// caller indexes results exactly as it built the job list, so its output
+// cannot depend on scheduling. The returned error is the first failing
+// job's, by index.
+func (e *Engine) RunAll(jobs []sim.Options) ([]sim.Metrics, error) {
+	ms := make([]sim.Metrics, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	for i := range jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ms[i], errs[i] = e.Run(jobs[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return ms, nil
+}
+
+// Map runs f(0), ..., f(n-1) on the worker pool and waits for all of them.
+// It is the engine's generic lane for non-simulator work (page-table
+// scans, codec sweeps): f writes its result into slot i of a caller-owned
+// slice and the caller assembles slots in index order, preserving the
+// serial output bit-for-bit. f must not call Run, RunAll, or Map — it
+// holds a worker slot for its whole duration, so nesting can deadlock the
+// pool.
+func (e *Engine) Map(n int, f func(i int)) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e.sem <- struct{}{}
+			defer func() { <-e.sem }()
+			f(i)
+		}(i)
+	}
+	wg.Wait()
+}

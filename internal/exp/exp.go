@@ -46,27 +46,39 @@ func (t *Table) Add(name string, vals ...float64) {
 	t.Rows = append(t.Rows, RowT{Name: name, Vals: vals})
 }
 
-// Mean appends an arithmetic-mean row over the current rows for each column.
+// Mean appends an arithmetic-mean row over the current rows for each
+// column. Rows with fewer values than the first row are skipped outright:
+// averaging a ragged row's missing columns as zero while still counting
+// the row in the divisor would silently deflate the mean.
 func (t *Table) Mean(label string) {
 	if len(t.Rows) == 0 {
 		return
 	}
 	n := len(t.Rows[0].Vals)
 	sums := make([]float64, n)
+	used := 0
 	for _, r := range t.Rows {
-		for i, v := range r.Vals {
-			if i < n {
-				sums[i] += v
-			}
+		if len(r.Vals) < n {
+			continue
+		}
+		used++
+		for i, v := range r.Vals[:n] {
+			sums[i] += v
 		}
 	}
+	if used == 0 {
+		return
+	}
 	for i := range sums {
-		sums[i] /= float64(len(t.Rows))
+		sums[i] /= float64(used)
 	}
 	t.Add(label, sums...)
 }
 
-// GeoMean appends a geometric-mean row.
+// GeoMean appends a geometric-mean row. Like Mean, rows shorter than the
+// first row are skipped rather than silently averaged as if complete;
+// non-positive values within a counted row are excluded from the product
+// (they would zero or flip it) but the row still counts.
 func (t *Table) GeoMean(label string) {
 	if len(t.Rows) == 0 {
 		return
@@ -76,16 +88,24 @@ func (t *Table) GeoMean(label string) {
 	for i := range prods {
 		prods[i] = 1
 	}
+	used := 0
 	for _, r := range t.Rows {
-		for i, v := range r.Vals {
-			if i < n && v > 0 {
+		if len(r.Vals) < n {
+			continue
+		}
+		used++
+		for i, v := range r.Vals[:n] {
+			if v > 0 {
 				prods[i] *= v
 			}
 		}
 	}
+	if used == 0 {
+		return
+	}
 	row := make([]float64, n)
 	for i := range prods {
-		row[i] = pow(prods[i], 1/float64(len(t.Rows)))
+		row[i] = pow(prods[i], 1/float64(used))
 	}
 	t.Add(label, row...)
 }

@@ -1,7 +1,6 @@
 package exp
 
 import (
-	"fmt"
 	"sync"
 
 	"tmcc/internal/config"
@@ -34,15 +33,19 @@ func Fig17(cfg Config) (*Table, error) {
 		Header: []string{"benchmark", "tmcc/compresso"},
 		Notes:  []string{"paper: 1.14 average; best shortestPath/canneal, least kcore/triCount"},
 	}
-	for _, b := range workload.LargeBenchmarks() {
-		cp, err := runOne(cfg, b, sim.Options{Kind: mc.Compresso})
-		if err != nil {
-			return nil, err
-		}
-		tm, err := runOne(cfg, b, sim.Options{Kind: mc.TMCC})
-		if err != nil {
-			return nil, err
-		}
+	benches := workload.LargeBenchmarks()
+	jobs := make([]sim.Options, 0, 2*len(benches))
+	for _, b := range benches {
+		jobs = append(jobs,
+			fullOptions(cfg, b, sim.Options{Kind: mc.Compresso}),
+			fullOptions(cfg, b, sim.Options{Kind: mc.TMCC}))
+	}
+	ms, err := runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range benches {
+		cp, tm := ms[2*i], ms[2*i+1]
 		t.Add(b, tm.StoresPerCycle()/cp.StoresPerCycle())
 	}
 	t.GeoMean("geomean")
@@ -58,19 +61,20 @@ func Fig18(cfg Config) (*Table, error) {
 		Header: []string{"benchmark", "no-comp", "compresso", "tmcc"},
 		Notes:  []string{"paper averages: 53.0 / 73.9 / 56.4 ns"},
 	}
-	for _, b := range workload.LargeBenchmarks() {
-		nc, err := runOne(cfg, b, sim.Options{Kind: mc.Uncompressed})
-		if err != nil {
-			return nil, err
-		}
-		cp, err := runOne(cfg, b, sim.Options{Kind: mc.Compresso})
-		if err != nil {
-			return nil, err
-		}
-		tm, err := runOne(cfg, b, sim.Options{Kind: mc.TMCC})
-		if err != nil {
-			return nil, err
-		}
+	benches := workload.LargeBenchmarks()
+	jobs := make([]sim.Options, 0, 3*len(benches))
+	for _, b := range benches {
+		jobs = append(jobs,
+			fullOptions(cfg, b, sim.Options{Kind: mc.Uncompressed}),
+			fullOptions(cfg, b, sim.Options{Kind: mc.Compresso}),
+			fullOptions(cfg, b, sim.Options{Kind: mc.TMCC}))
+	}
+	ms, err := runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range benches {
+		nc, cp, tm := ms[3*i], ms[3*i+1], ms[3*i+2]
 		t.Add(b, nc.AvgL3MissLatencyNS(), cp.AvgL3MissLatencyNS(), tm.AvgL3MissLatencyNS())
 	}
 	t.Mean("average")
@@ -88,11 +92,17 @@ func Fig19(cfg Config) (*Table, error) {
 		Header: []string{"benchmark", "cte$-hit", "parallel", "stale-cte", "serial"},
 		Notes:  []string{"paper averages: 0.76 / 0.22 / ~0 / ~0.02"},
 	}
-	for _, b := range workload.LargeBenchmarks() {
-		m, err := runOne(cfg, b, sim.Options{Kind: mc.TMCC})
-		if err != nil {
-			return nil, err
-		}
+	benches := workload.LargeBenchmarks()
+	jobs := make([]sim.Options, len(benches))
+	for i, b := range benches {
+		jobs[i] = fullOptions(cfg, b, sim.Options{Kind: mc.TMCC})
+	}
+	ms, err := runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range benches {
+		m := ms[i]
 		total := float64(m.MC.CTEHits + m.MC.CTEMisses)
 		t.Add(b,
 			float64(m.MC.CTEHits)/total,
@@ -104,59 +114,67 @@ func Fig19(cfg Config) (*Table, error) {
 	return t, nil
 }
 
-// budgets caches the per-benchmark Table IV operating points.
+// budgets holds the per-benchmark Table IV operating points.
 type budgets struct {
 	colB map[string]uint64 // Compresso usage
 	colC map[string]uint64 // TMCC iso-performance usage
 	spcB map[string]float64
 }
 
-var (
-	budgetCacheMu sync.Mutex
-	budgetCache   = map[string]*budgets{}
-)
-
 // colBudgets finds Table IV's operating points: column B is Compresso's
 // natural usage, column C is the smallest TMCC budget whose performance is
 // still >= 99% of Compresso's (found by bisection, as the paper's sweep).
+//
+// All Compresso baselines are submitted up front, then the per-benchmark
+// bisections run concurrently — each search is sequential inside (iteration
+// k picks its candidate from iteration k-1's verdict) but independent of
+// the other benchmarks. Every candidate evaluation goes through the
+// engine's memo table, which generalizes the budget cache this function
+// used to keep: tab4, fig20, fig21 and senssmall revisit these exact runs
+// and get them for free, whatever order the experiments execute in.
 func colBudgets(cfg Config, benches []string) (*budgets, error) {
-	key := fmt.Sprintf("%d/%v/%v", cfg.Seed, cfg.Quick, benches)
-	budgetCacheMu.Lock()
-	defer budgetCacheMu.Unlock()
-	if b, ok := budgetCache[key]; ok {
-		return b, nil
+	jobs := make([]sim.Options, len(benches))
+	colB := make([]uint64, len(benches))
+	for i, b := range benches {
+		colB[i] = sim.CompressoBudget(b, cfg.Seed)
+		jobs[i] = fullOptions(cfg, b, sim.Options{Kind: mc.Compresso, BudgetPages: colB[i]})
 	}
+	cps, err := runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+
+	best := make([]uint64, len(benches))
+	var wg sync.WaitGroup
+	for i := range benches {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			b := benches[i]
+			target := cps[i].StoresPerCycle() * 0.99
+			lo, hi := colB[i]/3, colB[i]
+			best[i] = colB[i]
+			for iter := 0; iter < 5 && hi-lo > colB[i]/50; iter++ {
+				mid := (lo + hi) / 2
+				m, err := runOne(cfg, b, sim.Options{Kind: mc.TMCC, BudgetPages: mid})
+				// An error means the budget is infeasible: bisect upward.
+				if err == nil && m.StoresPerCycle() >= target {
+					best[i] = mid
+					hi = mid
+				} else {
+					lo = mid
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
 	out := &budgets{colB: map[string]uint64{}, colC: map[string]uint64{}, spcB: map[string]float64{}}
-	for _, b := range benches {
-		colB := sim.CompressoBudget(b, cfg.Seed)
-		cp, err := runOne(cfg, b, sim.Options{Kind: mc.Compresso, BudgetPages: colB})
-		if err != nil {
-			return nil, err
-		}
-		target := cp.StoresPerCycle() * 0.99
-		perfAt := func(budget uint64) (float64, bool) {
-			m, err := runOne(cfg, b, sim.Options{Kind: mc.TMCC, BudgetPages: budget})
-			if err != nil {
-				return 0, false // infeasible budget
-			}
-			return m.StoresPerCycle(), true
-		}
-		lo, hi := colB/3, colB
-		best := colB
-		for iter := 0; iter < 5 && hi-lo > colB/50; iter++ {
-			mid := (lo + hi) / 2
-			if spc, ok := perfAt(mid); ok && spc >= target {
-				best = mid
-				hi = mid
-			} else {
-				lo = mid
-			}
-		}
-		out.colB[b] = colB
-		out.colC[b] = best
-		out.spcB[b] = cp.StoresPerCycle()
+	for i, b := range benches {
+		out.colB[b] = colB[i]
+		out.colC[b] = best[i]
+		out.spcB[b] = cps[i].StoresPerCycle()
 	}
-	budgetCache[key] = out
 	return out, nil
 }
 
@@ -213,33 +231,36 @@ func Fig20(cfg Config) (*Table, error) {
 		return nil, err
 	}
 	ibm := ibmdeflate.Default()
-	for _, col := range []string{"colB", "colC"} {
-		prodM1, prodM2, prodFull := 1.0, 1.0, 1.0
-		n := 0
+	cols := []string{"colB", "colC"}
+	// Four runs per (column, benchmark), submitted as one flat job list.
+	var jobs []sim.Options
+	for _, col := range cols {
 		for _, b := range benches {
 			budget := bg.colB[b]
 			if col == "colC" {
 				budget = bg.colC[b]
 			}
-			base, err := runOne(cfg, b, sim.Options{Kind: mc.OSInspired, BudgetPages: budget})
-			if err != nil {
-				return nil, err
-			}
-			// ML1 optimization only: embedding on, slow (IBM-class) ML2.
-			m1, err := runOne(cfg, b, sim.Options{Kind: mc.TMCC, BudgetPages: budget,
-				ML2HalfPage: ibm.HalfPageLatency(config.PageSize), ML2Compress: ibm.CompressLatency(config.PageSize)})
-			if err != nil {
-				return nil, err
-			}
-			// ML2 optimization only: fast Deflate, embedding off.
-			m2, err := runOne(cfg, b, sim.Options{Kind: mc.TMCC, BudgetPages: budget, DisableEmbed: true})
-			if err != nil {
-				return nil, err
-			}
-			full, err := runOne(cfg, b, sim.Options{Kind: mc.TMCC, BudgetPages: budget})
-			if err != nil {
-				return nil, err
-			}
+			jobs = append(jobs,
+				fullOptions(cfg, b, sim.Options{Kind: mc.OSInspired, BudgetPages: budget}),
+				// ML1 optimization only: embedding on, slow (IBM-class) ML2.
+				fullOptions(cfg, b, sim.Options{Kind: mc.TMCC, BudgetPages: budget,
+					ML2HalfPage: ibm.HalfPageLatency(config.PageSize), ML2Compress: ibm.CompressLatency(config.PageSize)}),
+				// ML2 optimization only: fast Deflate, embedding off.
+				fullOptions(cfg, b, sim.Options{Kind: mc.TMCC, BudgetPages: budget, DisableEmbed: true}),
+				fullOptions(cfg, b, sim.Options{Kind: mc.TMCC, BudgetPages: budget}))
+		}
+	}
+	ms, err := runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	idx := 0
+	for _, col := range cols {
+		prodM1, prodM2, prodFull := 1.0, 1.0, 1.0
+		n := 0
+		for range benches {
+			base, m1, m2, full := ms[idx], ms[idx+1], ms[idx+2], ms[idx+3]
+			idx += 4
 			s := base.StoresPerCycle()
 			prodM1 *= m1.StoresPerCycle() / s
 			prodM2 *= m2.StoresPerCycle() / s
@@ -269,23 +290,21 @@ func Fig21(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	jobs := make([]sim.Options, 0, 2*len(benches))
 	for _, b := range benches {
-		rate := func(budget uint64) (float64, error) {
-			m, err := runOne(cfg, b, sim.Options{Kind: mc.TMCC, BudgetPages: budget})
-			if err != nil {
-				return 0, err
-			}
-			return float64(m.MC.ML2Reads) / float64(m.LLCMisses+m.Writebacks), nil
-		}
-		rb, err := rate(bg.colB[b])
-		if err != nil {
-			return nil, err
-		}
-		rc, err := rate(bg.colC[b])
-		if err != nil {
-			return nil, err
-		}
-		t.Add(b, rb, rc)
+		jobs = append(jobs,
+			fullOptions(cfg, b, sim.Options{Kind: mc.TMCC, BudgetPages: bg.colB[b]}),
+			fullOptions(cfg, b, sim.Options{Kind: mc.TMCC, BudgetPages: bg.colC[b]}))
+	}
+	ms, err := runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	rate := func(m sim.Metrics) float64 {
+		return float64(m.MC.ML2Reads) / float64(m.LLCMisses+m.Writebacks)
+	}
+	for i, b := range benches {
+		t.Add(b, rate(ms[2*i]), rate(ms[2*i+1]))
 	}
 	t.Mean("average")
 	return t, nil
@@ -316,19 +335,19 @@ func Fig22(cfg Config) (*Table, error) {
 		s.DRAM.ChannelInterleaveBytes = chIl
 		return s
 	}
+	jobs := make([]sim.Options, 0, 3*len(benches))
 	for _, b := range benches {
-		base, err := runOne(cfg, b, sim.Options{Kind: mc.Uncompressed, Sys: mkSys(512, 256)})
-		if err != nil {
-			return nil, err
-		}
-		compat, err := runOne(cfg, b, sim.Options{Kind: mc.Uncompressed, Sys: mkSys(config.PageSize, 256)})
-		if err != nil {
-			return nil, err
-		}
-		pageAll, err := runOne(cfg, b, sim.Options{Kind: mc.Uncompressed, Sys: mkSys(config.PageSize, config.PageSize)})
-		if err != nil {
-			return nil, err
-		}
+		jobs = append(jobs,
+			fullOptions(cfg, b, sim.Options{Kind: mc.Uncompressed, Sys: mkSys(512, 256)}),
+			fullOptions(cfg, b, sim.Options{Kind: mc.Uncompressed, Sys: mkSys(config.PageSize, 256)}),
+			fullOptions(cfg, b, sim.Options{Kind: mc.Uncompressed, Sys: mkSys(config.PageSize, config.PageSize)}))
+	}
+	ms, err := runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range benches {
+		base, compat, pageAll := ms[3*i], ms[3*i+1], ms[3*i+2]
 		s := base.StoresPerCycle()
 		t.Add(b, compat.StoresPerCycle()/s, pageAll.StoresPerCycle()/s)
 	}
@@ -354,12 +373,16 @@ func SensSmall(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, b := range benches {
-		tm, err := runOne(cfg, b, sim.Options{Kind: mc.TMCC, BudgetPages: bg.colB[b]})
-		if err != nil {
-			return nil, err
-		}
-		t.Add(b, tm.StoresPerCycle()/bg.spcB[b], float64(bg.colB[b])/float64(bg.colC[b]))
+	jobs := make([]sim.Options, len(benches))
+	for i, b := range benches {
+		jobs[i] = fullOptions(cfg, b, sim.Options{Kind: mc.TMCC, BudgetPages: bg.colB[b]})
+	}
+	ms, err := runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range benches {
+		t.Add(b, ms[i].StoresPerCycle()/bg.spcB[b], float64(bg.colB[b])/float64(bg.colC[b]))
 	}
 	t.GeoMean("geomean")
 	return t, nil
@@ -380,15 +403,18 @@ func SensHuge(cfg Config) (*Table, error) {
 	if cfg.Quick {
 		benches = benches[:3]
 	}
+	jobs := make([]sim.Options, 0, 2*len(benches))
 	for _, b := range benches {
-		cp, err := runOne(cfg, b, sim.Options{Kind: mc.Compresso, HugePages: true})
-		if err != nil {
-			return nil, err
-		}
-		tm, err := runOne(cfg, b, sim.Options{Kind: mc.TMCC, HugePages: true})
-		if err != nil {
-			return nil, err
-		}
+		jobs = append(jobs,
+			fullOptions(cfg, b, sim.Options{Kind: mc.Compresso, HugePages: true}),
+			fullOptions(cfg, b, sim.Options{Kind: mc.TMCC, HugePages: true}))
+	}
+	ms, err := runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range benches {
+		cp, tm := ms[2*i], ms[2*i+1]
 		t.Add(b, tm.StoresPerCycle()/cp.StoresPerCycle())
 	}
 	t.GeoMean("geomean")
@@ -412,15 +438,23 @@ func AblationCTE(cfg Config) (*Table, error) {
 	mk := func(sizeKB, reach int) *config.CTECacheCfg {
 		return &config.CTECacheCfg{SizeKB: sizeKB, ReachPerBlock: reach, Assoc: 8}
 	}
+	ctes := []*config.CTECacheCfg{
+		mk(64, 4*config.KiB), mk(256, 4*config.KiB), mk(64, 32*config.KiB),
+	}
+	jobs := make([]sim.Options, 0, len(ctes)*len(benches))
 	for _, b := range benches {
+		for _, c := range ctes {
+			jobs = append(jobs, fullOptions(cfg, b, sim.Options{Kind: mc.Compresso, CTEOverride: c}))
+		}
+	}
+	ms, err := runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range benches {
 		var vals []float64
-		for _, c := range []*config.CTECacheCfg{
-			mk(64, 4*config.KiB), mk(256, 4*config.KiB), mk(64, 32*config.KiB),
-		} {
-			m, err := runOne(cfg, b, sim.Options{Kind: mc.Compresso, CTEOverride: c})
-			if err != nil {
-				return nil, err
-			}
+		for j := range ctes {
+			m := ms[i*len(ctes)+j]
 			vals = append(vals, float64(m.MC.CTEMisses)/float64(m.LLCMisses))
 		}
 		t.Add(b, vals...)

@@ -20,19 +20,6 @@ func init() {
 	register("fig16", Fig16)
 }
 
-func runOne(cfg Config, bench string, opt sim.Options) (sim.Metrics, error) {
-	warm, meas := cfg.windows()
-	opt.Benchmark = bench
-	opt.Seed = cfg.Seed
-	opt.WarmupAccesses = warm
-	opt.MeasureAccesses = meas
-	r, err := sim.NewRunner(opt)
-	if err != nil {
-		return sim.Metrics{}, err
-	}
-	return r.Run(), nil
-}
-
 // Fig1 reports TLB misses and CTE misses normalized to LLC misses under the
 // Section III setup: block-level CTEs with a 64KB CTE cache. Paper: CTE
 // misses (34% avg) exceed TLB misses (30% avg) because every request,
@@ -47,11 +34,17 @@ func Fig1(cfg Config) (*Table, error) {
 		},
 	}
 	cte := config.ProblemCTE()
-	for _, b := range workload.LargeBenchmarks() {
-		m, err := runOne(cfg, b, sim.Options{Kind: mc.Compresso, CTEOverride: &cte})
-		if err != nil {
-			return nil, err
-		}
+	benches := workload.LargeBenchmarks()
+	jobs := make([]sim.Options, len(benches))
+	for i, b := range benches {
+		jobs[i] = fullOptions(cfg, b, sim.Options{Kind: mc.Compresso, CTEOverride: &cte})
+	}
+	ms, err := runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range benches {
+		m := ms[i]
 		t.Add(b,
 			float64(m.TLBMisses)/float64(m.LLCMisses),
 			float64(m.MC.CTEMisses)/float64(m.LLCMisses))
@@ -74,11 +67,17 @@ func Fig2(cfg Config) (*Table, error) {
 		},
 	}
 	cte := config.CTECacheCfg{SizeKB: 256, ReachPerBlock: 4 * config.KiB, Assoc: 8}
-	for _, b := range workload.LargeBenchmarks() {
-		m, err := runOne(cfg, b, sim.Options{Kind: mc.Compresso, CTEOverride: &cte, VictimShadow: true})
-		if err != nil {
-			return nil, err
-		}
+	benches := workload.LargeBenchmarks()
+	jobs := make([]sim.Options, len(benches))
+	for i, b := range benches {
+		jobs[i] = fullOptions(cfg, b, sim.Options{Kind: mc.Compresso, CTEOverride: &cte, VictimShadow: true})
+	}
+	ms, err := runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range benches {
+		m := ms[i]
 		total := float64(m.MC.CTEHits + m.MC.CTEMisses)
 		hitCTE := float64(m.MC.CTEHits) / total
 		hitLLC := float64(m.MC.CTEVictimHits) / total
@@ -99,13 +98,19 @@ func Fig5(cfg Config) (*Table, error) {
 		Header: []string{"benchmark", "walk-related"},
 		Notes:  []string{"paper average: 0.89"},
 	}
-	for _, b := range workload.LargeBenchmarks() {
+	benches := workload.LargeBenchmarks()
+	jobs := make([]sim.Options, len(benches))
+	for i, b := range benches {
 		// The bare-bone OS-inspired design has page-level CTEs and no
 		// embedding, isolating the correlation.
-		m, err := runOne(cfg, b, sim.Options{Kind: mc.OSInspired})
-		if err != nil {
-			return nil, err
-		}
+		jobs[i] = fullOptions(cfg, b, sim.Options{Kind: mc.OSInspired})
+	}
+	ms, err := runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range benches {
+		m := ms[i]
 		if m.MC.CTEMisses == 0 {
 			t.Add(b, 0)
 			continue
@@ -118,6 +123,8 @@ func Fig5(cfg Config) (*Table, error) {
 
 // Fig6 scans modeled page tables and reports the fraction of L1/L2 PTBs
 // whose eight entries carry identical status bits. Paper: 99.94% and 99.3%.
+// The per-benchmark scans are independent, so they run on the engine's
+// worker pool; rows and the running sums are assembled in benchmark order.
 func Fig6(cfg Config) (*Table, error) {
 	t := &Table{
 		ID:     "fig6",
@@ -129,9 +136,10 @@ func Fig6(cfg Config) (*Table, error) {
 	if cfg.Quick {
 		pages = 1 << 17
 	}
-	var sumL1, sumL2 float64
 	benches := workload.LargeBenchmarks()
-	for i, b := range benches {
+	l1s := make([]float64, len(benches))
+	l2s := make([]float64, len(benches))
+	eng.Map(len(benches), func(i int) {
 		as := pagetable.BuildAddressSpace(pages, pages*4, pagetable.DefaultOSConfig(cfg.Seed+int64(i)))
 		same := map[int]int{}
 		total := map[int]int{}
@@ -145,11 +153,14 @@ func Fig6(cfg Config) (*Table, error) {
 			}
 			same[ptb.Level]++
 		})
-		l1 := float64(same[1]) / float64(total[1])
-		l2 := float64(same[2]) / float64(total[2])
-		sumL1 += l1
-		sumL2 += l2
-		t.Add(b, l1, l2)
+		l1s[i] = float64(same[1]) / float64(total[1])
+		l2s[i] = float64(same[2]) / float64(total[2])
+	})
+	var sumL1, sumL2 float64
+	for i, b := range benches {
+		sumL1 += l1s[i]
+		sumL2 += l2s[i]
+		t.Add(b, l1s[i], l2s[i])
 	}
 	t.Add("average", sumL1/float64(len(benches)), sumL2/float64(len(benches)))
 	return t, nil
@@ -164,11 +175,17 @@ func Fig16(cfg Config) (*Table, error) {
 		Header: []string{"benchmark", "read-util", "write-util", "ipc"},
 		Notes:  []string{"paper: read utilization 10-60%, shortestPath/canneal highest"},
 	}
-	for _, b := range workload.LargeBenchmarks() {
-		m, err := runOne(cfg, b, sim.Options{Kind: mc.Uncompressed})
-		if err != nil {
-			return nil, err
-		}
+	benches := workload.LargeBenchmarks()
+	jobs := make([]sim.Options, len(benches))
+	for i, b := range benches {
+		jobs[i] = fullOptions(cfg, b, sim.Options{Kind: mc.Uncompressed})
+	}
+	ms, err := runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range benches {
+		m := ms[i]
 		rw := float64(m.DRAMReads + m.DRAMWrites)
 		readFrac := 1.0
 		if rw > 0 {

@@ -33,16 +33,27 @@ func AblationCTEBuf(cfg Config) (*Table, error) {
 		Header: []string{"entries", "parallel-frac", "serial-frac", "spc"},
 		Notes:  []string{"paper picks 64 entries (~1KB); the curve saturates near there"},
 	}
-	for _, entries := range []int{8, 16, 32, 64, 128} {
+	points := []int{8, 16, 32, 64, 128}
+	benches := sweepBenches(cfg)
+	jobs := make([]sim.Options, 0, len(points)*len(benches))
+	for _, entries := range points {
 		sys := config.Default()
 		sys.Comp.CTEBufEntries = entries
+		for _, b := range benches {
+			jobs = append(jobs, fullOptions(cfg, b, sim.Options{Kind: mc.TMCC, Sys: sys}))
+		}
+	}
+	ms, err := runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	idx := 0
+	for _, entries := range points {
 		var par, ser, spc float64
 		n := 0
-		for _, b := range sweepBenches(cfg) {
-			m, err := runOne(cfg, b, sim.Options{Kind: mc.TMCC, Sys: sys})
-			if err != nil {
-				return nil, err
-			}
+		for range benches {
+			m := ms[idx]
+			idx++
 			miss := float64(m.MC.CTEHits + m.MC.CTEMisses)
 			par += float64(m.MC.ParallelOK+m.MC.ParallelWrong) / miss
 			ser += float64(m.MC.SerialNoEmbed) / miss
@@ -64,16 +75,27 @@ func AblationRecency(cfg Config) (*Table, error) {
 		Header: []string{"sample-rate", "ml2-per-miss", "spc"},
 		Notes:  []string{"paper samples 1% of ML1 accesses"},
 	}
-	for _, rate := range []float64{0.001, 0.01, 0.05, 0.2} {
+	rates := []float64{0.001, 0.01, 0.05, 0.2}
+	benches := sweepBenches(cfg)
+	jobs := make([]sim.Options, 0, len(rates)*len(benches))
+	for _, rate := range rates {
 		sys := config.Default()
 		sys.Comp.RecencySampleRate = rate
+		for _, b := range benches {
+			jobs = append(jobs, fullOptions(cfg, b, sim.Options{Kind: mc.TMCC, Sys: sys}))
+		}
+	}
+	ms, err := runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	idx := 0
+	for _, rate := range rates {
 		var ml2, spc float64
 		n := 0
-		for _, b := range sweepBenches(cfg) {
-			m, err := runOne(cfg, b, sim.Options{Kind: mc.TMCC, Sys: sys})
-			if err != nil {
-				return nil, err
-			}
+		for range benches {
+			m := ms[idx]
+			idx++
 			ml2 += float64(m.MC.ML2Reads) / float64(m.LLCMisses+1)
 			spc += m.StoresPerCycle()
 			n++
@@ -93,20 +115,29 @@ func AblationTLB(cfg Config) (*Table, error) {
 		Header: []string{"tlb-entries", "tlb-miss/llc", "tmcc/compresso"},
 		Notes:  []string{"smaller TLBs raise walk rates and widen TMCC's advantage"},
 	}
-	for _, entries := range []int{512, 1024, 2048, 4096} { //tmcclint:allow magic-literal (TLB entry count)
+	points := []int{512, 1024, 2048, 4096} //tmcclint:allow magic-literal (TLB entry count)
+	benches := sweepBenches(cfg)
+	jobs := make([]sim.Options, 0, 2*len(points)*len(benches))
+	for _, entries := range points {
 		sys := config.Default()
 		sys.CPU.TLBEntries = entries
+		for _, b := range benches {
+			jobs = append(jobs,
+				fullOptions(cfg, b, sim.Options{Kind: mc.Compresso, Sys: sys}),
+				fullOptions(cfg, b, sim.Options{Kind: mc.TMCC, Sys: sys}))
+		}
+	}
+	ms, err := runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	idx := 0
+	for _, entries := range points {
 		var missRatio, ratio float64
 		n := 0
-		for _, b := range sweepBenches(cfg) {
-			cp, err := runOne(cfg, b, sim.Options{Kind: mc.Compresso, Sys: sys})
-			if err != nil {
-				return nil, err
-			}
-			tm, err := runOne(cfg, b, sim.Options{Kind: mc.TMCC, Sys: sys})
-			if err != nil {
-				return nil, err
-			}
+		for range benches {
+			cp, tm := ms[idx], ms[idx+1]
+			idx += 2
 			missRatio += float64(cp.TLBMisses) / float64(cp.LLCMisses)
 			ratio += tm.StoresPerCycle() / cp.StoresPerCycle()
 			n++

@@ -15,6 +15,7 @@
 package lz
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math/bits"
 
@@ -42,11 +43,20 @@ type Stats struct {
 
 // Compressor is a sliding-window LZ compressor with a fixed window
 // ("CAM") size. The zero value is not usable; call New.
+//
+// The 16K-entry head table is invalidated between pages by bumping a
+// generation counter instead of rewriting every slot: a head entry is live
+// only when its stamp matches the current generation. Clearing 64KB of
+// head table per 4KB page dominated Compress for short or incompressible
+// inputs; the stamp makes the per-page reset O(1) while producing the
+// exact same token stream (see TestEpochResetMatchesFreshCompressor).
 type Compressor struct {
 	window   int
 	offBits  uint
 	maxMatch int
 	head     []int32
+	headGen  []uint32
+	gen      uint32
 	prev     []int32
 }
 
@@ -62,7 +72,22 @@ func New(window int) *Compressor {
 		offBits:  offBits,
 		maxMatch: MinMatch + (1 << (16 - offBits)) - 1,
 		head:     make([]int32, 1<<14),
+		headGen:  make([]uint32, 1<<14),
+		gen:      0, // first beginPage bumps to 1, distinct from the zeroed stamps
 		prev:     make([]int32, config.PageSize),
+	}
+}
+
+// beginPage starts a fresh hash-chain generation. On uint32 wraparound
+// (once every 2^32 pages) the stamps are cleared so stale entries cannot
+// alias the reused generation value.
+func (c *Compressor) beginPage() {
+	c.gen++
+	if c.gen == 0 {
+		for i := range c.headGen {
+			c.headGen[i] = 0
+		}
+		c.gen = 1
 	}
 }
 
@@ -88,9 +113,7 @@ func (c *Compressor) Compress(dst, src []byte) ([]byte, Stats) {
 	}
 	var st Stats
 	st.InputBytes = len(src)
-	for i := range c.head {
-		c.head[i] = -1
-	}
+	c.beginPage()
 	startLen := len(dst)
 
 	type token struct {
@@ -132,9 +155,21 @@ func (c *Compressor) Compress(dst, src []byte) ([]byte, Stats) {
 	insert := func(pos int) {
 		if pos+MinMatch <= len(src) {
 			h := hash3(src[pos:])
-			c.prev[pos] = c.head[h]
+			if c.headGen[h] == c.gen {
+				c.prev[pos] = c.head[h]
+			} else {
+				c.prev[pos] = -1
+				c.headGen[h] = c.gen
+			}
 			c.head[h] = int32(pos)
 		}
+	}
+	// headAt reads a chain head; a stale-generation slot is an empty chain.
+	headAt := func(h uint32) int32 {
+		if c.headGen[h] != c.gen {
+			return -1
+		}
+		return c.head[h]
 	}
 
 	pos := 0
@@ -143,7 +178,7 @@ func (c *Compressor) Compress(dst, src []byte) ([]byte, Stats) {
 		if pos+MinMatch <= len(src) {
 			h := hash3(src[pos:])
 			limit := pos - c.window
-			for cand := c.head[h]; cand >= 0 && int(cand) >= limit; cand = c.prev[cand] {
+			for cand := headAt(h); cand >= 0 && int(cand) >= limit; cand = c.prev[cand] {
 				l := c.matchLen(src, int(cand), pos)
 				if l > bestLen {
 					bestLen, bestOff = l, pos-int(cand)
@@ -174,11 +209,25 @@ func (c *Compressor) Compress(dst, src []byte) ([]byte, Stats) {
 	return dst, st
 }
 
+// matchLen returns the length of the common prefix of src[cand:] and
+// src[pos:], capped at maxMatch. It compares 8 bytes per step — the
+// byte-at-a-time loop was the other Compress hot spot — and locates the
+// first differing byte inside a word with a trailing-zeros count. Reads
+// stay in bounds: n+8 <= max implies pos+n+8 <= len(src), and cand < pos.
+// Overlapping matches (cand+n crossing pos) compare the same raw source
+// bytes the byte loop would, so the result is identical.
 func (c *Compressor) matchLen(src []byte, cand, pos int) int {
-	n := 0
 	max := len(src) - pos
 	if max > c.maxMatch {
 		max = c.maxMatch
+	}
+	n := 0
+	for n+8 <= max {
+		x := binary.LittleEndian.Uint64(src[cand+n:]) ^ binary.LittleEndian.Uint64(src[pos+n:])
+		if x != 0 {
+			return n + bits.TrailingZeros64(x)>>3
+		}
+		n += 8
 	}
 	for n < max && src[cand+n] == src[pos+n] {
 		n++

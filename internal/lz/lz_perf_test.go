@@ -1,0 +1,145 @@
+package lz
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"tmcc/internal/config"
+	"tmcc/internal/content"
+)
+
+// TestEpochResetMatchesFreshCompressor pins the O(1) generation-stamp
+// reset to the semantics of the old full head-table clear: a Compressor
+// that has chewed through many prior pages must emit byte-identical
+// streams to a brand-new one, for every archetype and for short inputs.
+func TestEpochResetMatchesFreshCompressor(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	reused := New(DefaultWindow)
+	for a := content.Zero; a <= content.RepeatedStructs; a++ {
+		for i := 0; i < 8; i++ {
+			page := content.GeneratePage(a, rng)
+			// Vary the length so stale head entries point past the end of
+			// shorter follow-up inputs — the hazard the stamps must mask.
+			src := page[:rng.Intn(len(page)+1)]
+			gotReused, stReused := reused.Compress(nil, src)
+			gotFresh, stFresh := New(DefaultWindow).Compress(nil, src)
+			if !bytes.Equal(gotReused, gotFresh) {
+				t.Fatalf("archetype %v len %d: reused compressor diverged from fresh", a, len(src))
+			}
+			if stReused != stFresh {
+				t.Fatalf("archetype %v len %d: stats diverged: %+v vs %+v", a, len(src), stReused, stFresh)
+			}
+		}
+	}
+}
+
+// TestEpochWraparound forces the uint32 generation counter across zero and
+// checks the wrap path clears the stamps rather than resurrecting chains.
+func TestEpochWraparound(t *testing.T) {
+	c := New(DefaultWindow)
+	src := []byte("abcabcabcabcabcabc")
+	want, _ := c.Compress(nil, src)
+	c.gen = ^uint32(0) // next beginPage wraps to 0 and must re-stamp
+	got, _ := c.Compress(nil, src)
+	if !bytes.Equal(got, want) {
+		t.Fatal("output changed across generation wraparound")
+	}
+	if c.gen != 1 {
+		t.Fatalf("gen after wraparound = %d, want 1", c.gen)
+	}
+	roundTrip(t, c, src)
+}
+
+// matchLenRef is the original byte-at-a-time loop, kept as the oracle for
+// the word-wise implementation.
+func (c *Compressor) matchLenRef(src []byte, cand, pos int) int {
+	n := 0
+	max := len(src) - pos
+	if max > c.maxMatch {
+		max = c.maxMatch
+	}
+	for n < max && src[cand+n] == src[pos+n] {
+		n++
+	}
+	return n
+}
+
+func TestMatchLenWordwiseMatchesByteLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	c := New(DefaultWindow)
+	// Low-entropy buffers make long runs, exercising the word loop deep.
+	buf := make([]byte, config.PageSize)
+	for i := range buf {
+		buf[i] = byte(rng.Intn(3))
+	}
+	for trial := 0; trial < 5000; trial++ {
+		pos := 1 + rng.Intn(len(buf)-1)
+		cand := rng.Intn(pos)
+		if got, want := c.matchLen(buf, cand, pos), c.matchLenRef(buf, cand, pos); got != want {
+			t.Fatalf("matchLen(cand=%d, pos=%d) = %d, ref %d", cand, pos, got, want)
+		}
+	}
+	// Boundary cases: match running exactly to the end of src, and inputs
+	// shorter than one word.
+	for _, n := range []int{0, 1, 7, 8, 9, 16} {
+		src := bytes.Repeat([]byte{7}, n+1)
+		if got, want := c.matchLen(src, 0, 1), c.matchLenRef(src, 0, 1); got != want {
+			t.Fatalf("tail case n=%d: %d vs %d", n, got, want)
+		}
+	}
+}
+
+// benchPages is a deterministic page mix covering all archetypes.
+func benchPages() [][]byte {
+	rng := rand.New(rand.NewSource(31))
+	pages := make([][]byte, 32)
+	for i := range pages {
+		pages[i] = content.GeneratePage(content.Archetype(i%10), rng)
+	}
+	return pages
+}
+
+// BenchmarkLZCompress measures the page-compression hot path: the epoch
+// reset removes the 16K-entry head clear from every call, and word-wise
+// matchLen speeds up the chain walks.
+func BenchmarkLZCompress(b *testing.B) {
+	pages := benchPages()
+	c := New(DefaultWindow)
+	var dst []byte
+	b.SetBytes(config.PageSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst, _ = c.Compress(dst[:0], pages[i%len(pages)])
+	}
+}
+
+// BenchmarkLZCompressIncompressible isolates the reset win: random input
+// produces almost no matches, so the old per-call head clear dominated.
+func BenchmarkLZCompressIncompressible(b *testing.B) {
+	rng := rand.New(rand.NewSource(32))
+	page := content.GeneratePage(content.Random, rng)
+	c := New(DefaultWindow)
+	var dst []byte
+	b.SetBytes(config.PageSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst, _ = c.Compress(dst[:0], page)
+	}
+}
+
+func BenchmarkLZDecompress(b *testing.B) {
+	pages := benchPages()
+	c := New(DefaultWindow)
+	encs := make([][]byte, len(pages))
+	for i, p := range pages {
+		encs[i], _ = c.Compress(nil, p)
+	}
+	b.SetBytes(config.PageSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompress(encs[i%len(encs)], len(pages[i%len(pages)]), DefaultWindow); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

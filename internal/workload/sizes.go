@@ -2,17 +2,62 @@ package workload
 
 import (
 	"fmt"
+	"sync"
 
 	"tmcc/internal/blockcomp"
 	"tmcc/internal/content"
 	"tmcc/internal/memdeflate"
 )
 
+// sizeModelKey identifies one deterministic NewSizeModel computation; all
+// inputs are comparable values.
+type sizeModelKey struct {
+	benchmark string
+	nSamples  int
+	seed      int64
+	params    memdeflate.Params
+}
+
+type sizeModelCall struct {
+	done chan struct{}
+	m    *SizeModel
+	err  error
+}
+
+var (
+	sizeModelMu sync.Mutex
+	sizeModels  = map[sizeModelKey]*sizeModelCall{}
+)
+
 // NewSizeModel samples nSamples pages of the benchmark's content profile
 // through the real compressors — the memory-specialized Deflate for
 // page-level sizes and the best-of block composite for Compresso — and
 // returns the per-page size assigner. Deterministic in (benchmark, seed).
+//
+// Building the model means compressing nSamples full pages, which used to
+// dominate simulator construction (~35% of a run), so results are memoized
+// per process: every simulation of a benchmark shares one model. The
+// returned *SizeModel is immutable after construction and safe for
+// concurrent use; callers must not modify it. Concurrent first requests
+// for the same key coalesce onto a single build.
 func NewSizeModel(benchmark string, nSamples int, seed int64, deflateParams memdeflate.Params) (*SizeModel, error) {
+	key := sizeModelKey{benchmark, nSamples, seed, deflateParams}
+	sizeModelMu.Lock()
+	c, ok := sizeModels[key]
+	if ok {
+		sizeModelMu.Unlock()
+		<-c.done
+		return c.m, c.err
+	}
+	c = &sizeModelCall{done: make(chan struct{})}
+	sizeModels[key] = c
+	sizeModelMu.Unlock()
+	c.m, c.err = buildSizeModel(benchmark, nSamples, seed, deflateParams)
+	close(c.done)
+	return c.m, c.err
+}
+
+func buildSizeModel(benchmark string, nSamples int, seed int64, deflateParams memdeflate.Params) (*SizeModel, error) {
 	prof, ok := content.ProfileFor(benchmark)
 	if !ok {
 		return nil, fmt.Errorf("workload: no content profile for %q", benchmark)
