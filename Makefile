@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint test race debug fuzz-smoke fmt bench engine-smoke
+.PHONY: all build lint test race debug fuzz-smoke fmt bench engine-smoke obs-smoke
 
 all: lint test
 
@@ -51,3 +51,19 @@ engine-smoke:
 	/tmp/tmccsim -all -quick -format csv -j 1 > /tmp/tmccsim_j1.csv
 	diff -u /tmp/tmccsim_j1.csv /tmp/tmccsim_j4.csv
 	@echo "engine-smoke: -j 1 and -j 4 outputs are byte-identical"
+
+# obs-smoke proves observation does not perturb the simulation: the quick
+# suite with -metrics/-trace must render byte-identically to a plain run,
+# and the artifacts must parse (tmcctop renders the snapshot and validates
+# the Chrome trace).
+obs-smoke:
+	$(GO) build -o /tmp/tmccsim ./cmd/tmccsim
+	$(GO) build -o /tmp/tmcctop ./cmd/tmcctop
+	/tmp/tmccsim -all -quick -format csv > /tmp/tmccsim_plain.csv
+	/tmp/tmccsim -all -quick -format csv \
+		-metrics /tmp/tmcc_obs.json -trace /tmp/tmcc_obs.trace \
+		> /tmp/tmccsim_obs.csv
+	diff -u /tmp/tmccsim_plain.csv /tmp/tmccsim_obs.csv
+	/tmp/tmcctop /tmp/tmcc_obs.json > /dev/null
+	/tmp/tmcctop -validate-trace /tmp/tmcc_obs.trace
+	@echo "obs-smoke: observed and plain outputs are byte-identical"

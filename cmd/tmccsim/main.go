@@ -7,17 +7,22 @@
 //	tmccsim -list
 //	tmccsim -exp fig17
 //	tmccsim -all [-quick] [-seed 42] [-j 4] [-stats]
+//	tmccsim -exp fig18 -metrics out.json -trace out.trace -pprof :6060
 //
 // All experiments run through the shared engine in internal/exp/engine:
 // -j bounds the simulation worker pool, and identical simulation points
 // requested by different experiments execute once per process. Output is
-// byte-identical for every -j value.
+// byte-identical for every -j value — including with -metrics/-trace,
+// which observe the runs without perturbing them.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"runtime"
 	"strings"
@@ -25,28 +30,56 @@ import (
 
 	"tmcc/internal/exp"
 	"tmcc/internal/exp/engine"
+	"tmcc/internal/obs"
 )
 
 func main() {
 	var (
-		id     = flag.String("exp", "", "experiment id (fig1, fig17, tab4, ...)")
-		all    = flag.Bool("all", false, "run every experiment")
-		list   = flag.Bool("list", false, "list experiment ids")
-		quick  = flag.Bool("quick", false, "shorter windows (CI-sized)")
-		seed   = flag.Int64("seed", 42, "simulation seed")
-		format = flag.String("format", "text", "output format: text | markdown | csv")
-		jobs   = flag.Int("j", runtime.GOMAXPROCS(0), "parallel simulation workers")
-		stats  = flag.Bool("stats", false, "per-run progress lines on stderr and engine counters at exit")
+		id      = flag.String("exp", "", "experiment id (fig1, fig17, tab4, ...)")
+		all     = flag.Bool("all", false, "run every experiment")
+		list    = flag.Bool("list", false, "list experiment ids")
+		quick   = flag.Bool("quick", false, "shorter windows (CI-sized)")
+		seed    = flag.Int64("seed", 42, "simulation seed")
+		format  = flag.String("format", "text", "output format: text | markdown | csv")
+		jobs    = flag.Int("j", runtime.GOMAXPROCS(0), "parallel simulation workers")
+		stats   = flag.Bool("stats", false, "per-run progress lines on stderr and engine counters at exit")
+		metrics = flag.String("metrics", "", "write an obs registry snapshot (JSON) to this file at exit")
+		trace   = flag.String("trace", "", "write a Chrome trace_event JSON (simulated time) to this file at exit")
+		pprof   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060)")
 	)
 	flag.Parse()
 
 	cfg := exp.Config{Seed: *seed, Quick: *quick}
+
+	if *pprof != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprof, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "pprof: %v\n", err)
+			}
+		}()
+	}
 
 	// The engine itself never reads the wall clock (internal/ stays
 	// deterministic); the clock is injected here, for accounting only.
 	eng := exp.Engine()
 	eng.SetWorkers(*jobs)
 	eng.SetClock(func() int64 { return time.Now().UnixNano() })
+
+	// Observability: the registry/tracer are created and their output files
+	// opened here at the cmd layer (internal/ is sink-free; tmcclint
+	// obs-sink-purity). Each surface is built only when requested, so a
+	// plain run stays on the nil fast path.
+	var ob *obs.Observer
+	if *metrics != "" || *trace != "" {
+		ob = &obs.Observer{}
+		if *metrics != "" {
+			ob.Reg = obs.NewRegistry()
+		}
+		if *trace != "" {
+			ob.Tr = obs.NewTracer(0)
+		}
+		eng.SetObserver(ob)
+	}
 	if *stats {
 		eng.SetProgress(func(r engine.Run) {
 			fmt.Fprintf(os.Stderr, "run %4d  %-16s %-14v %8.2fs\n",
@@ -78,6 +111,44 @@ func main() {
 	if *stats {
 		printStats(os.Stderr, eng.Stats(), *jobs, time.Since(start))
 	}
+	if *metrics != "" {
+		if err := writeMetrics(*metrics, ob); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *trace != "" {
+		if err := writeTrace(*trace, ob); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeMetrics snapshots the registry into path.
+func writeMetrics(path string, ob *obs.Observer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	defer f.Close()
+	if err := ob.Reg.Snapshot().WriteJSON(f); err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	return nil
+}
+
+// writeTrace serializes the retained spans into path.
+func writeTrace(path string, ob *obs.Observer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	if err := ob.Tr.WriteChromeTrace(f); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	return nil
 }
 
 // run executes one experiment and renders its table; split from main so the
@@ -113,4 +184,19 @@ func printStats(w io.Writer, st engine.Stats, workers int, wall time.Duration) {
 	}
 	fmt.Fprintf(w, "engine: %v simulation time across workers (%v mean per run), %v wall clock\n",
 		simTime.Round(time.Millisecond), mean.Round(time.Millisecond), wall.Round(time.Millisecond))
+	fmt.Fprintln(w, statsJSON(st, wall))
+}
+
+// statsJSON renders the machine-readable one-line engine summary (the last
+// -stats line; CI parses it).
+func statsJSON(st engine.Stats, wall time.Duration) string {
+	b, err := json.Marshal(struct {
+		Executed     uint64  `json:"executed"`
+		Deduplicated uint64  `json:"deduplicated"`
+		WallSeconds  float64 `json:"wallSeconds"`
+	}{st.Runs, st.Hits + st.Coalesced, wall.Seconds()})
+	if err != nil {
+		panic(fmt.Sprintf("tmccsim: marshaling stats: %v", err))
+	}
+	return string(b)
 }

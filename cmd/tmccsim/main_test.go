@@ -1,12 +1,17 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
 	"tmcc/internal/exp"
 	"tmcc/internal/exp/engine"
+	"tmcc/internal/obs"
 )
 
 // TestRunSmoke drives the cheapest experiment (fig6, the page-table scan)
@@ -57,5 +62,77 @@ func TestStatsOutput(t *testing.T) {
 		if !strings.Contains(got, want) {
 			t.Errorf("stats output missing %q:\n%s", want, got)
 		}
+	}
+}
+
+// TestStatsJSON pins the machine-readable summary line CI parses.
+func TestStatsJSON(t *testing.T) {
+	st := engine.Stats{Runs: 7, Hits: 3, Coalesced: 2}
+	line := statsJSON(st, 1500*time.Millisecond)
+	var got struct {
+		Executed     uint64  `json:"executed"`
+		Deduplicated uint64  `json:"deduplicated"`
+		WallSeconds  float64 `json:"wallSeconds"`
+	}
+	if err := json.Unmarshal([]byte(line), &got); err != nil {
+		t.Fatalf("stats line is not JSON: %v\n%s", err, line)
+	}
+	if got.Executed != 7 || got.Deduplicated != 5 || got.WallSeconds != 1.5 {
+		t.Fatalf("stats line = %+v, want executed=7 deduplicated=5 wallSeconds=1.5", got)
+	}
+}
+
+// TestMetricsAndTraceFiles drives one observed experiment through the real
+// engine and checks the two artifact writers end to end.
+func TestMetricsAndTraceFiles(t *testing.T) {
+	eng := exp.Engine()
+	ob := obs.New()
+	eng.SetObserver(ob)
+	defer eng.SetObserver(nil)
+
+	if err := run(io.Discard, "ext-2dwalk", exp.Config{Seed: 43, Quick: true}, "csv"); err != nil {
+		t.Fatalf("run(ext-2dwalk): %v", err)
+	}
+
+	dir := t.TempDir()
+	mpath := filepath.Join(dir, "m.json")
+	tpath := filepath.Join(dir, "t.trace")
+	if err := writeMetrics(mpath, ob); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeTrace(tpath, ob); err != nil {
+		t.Fatal(err)
+	}
+
+	mf, err := os.Open(mpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mf.Close()
+	s, err := obs.ReadSnapshot(mf)
+	if err != nil {
+		t.Fatalf("metrics file does not round-trip: %v", err)
+	}
+	if len(s.Samples) == 0 {
+		t.Fatal("metrics snapshot is empty")
+	}
+	if c, ok := s.Get("engine.runs"); !ok || c.Value == 0 {
+		t.Errorf("engine.runs missing or zero: %+v", c)
+	}
+
+	tb, err := os.ReadFile(tpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Cat string `json:"cat"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(tb, &tf); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		t.Fatal("trace file holds no events")
 	}
 }

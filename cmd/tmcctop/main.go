@@ -1,0 +1,192 @@
+// Command tmcctop inspects observability artifacts written by tmccsim:
+//
+//	tmcctop snap.json             render a metrics snapshot as a sorted table
+//	tmcctop old.json new.json     table with a delta column (new - old)
+//	tmcctop -validate-trace t.trace
+//	                              check a Chrome trace_event file and report
+//	                              its event/category counts (CI uses this)
+//
+// Snapshots come from `tmccsim -metrics`, traces from `tmccsim -trace`.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"tmcc/internal/obs"
+)
+
+func main() {
+	validate := flag.String("validate-trace", "", "validate a Chrome trace file instead of rendering snapshots")
+	flag.Parse()
+
+	switch {
+	case *validate != "":
+		f, err := os.Open(*validate)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := validateTrace(os.Stdout, f); err != nil {
+			fatal(fmt.Errorf("%s: %w", *validate, err))
+		}
+	case flag.NArg() == 1:
+		s, err := readSnapshotFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		renderSnapshot(os.Stdout, s)
+	case flag.NArg() == 2:
+		old, err := readSnapshotFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		cur, err := readSnapshotFile(flag.Arg(1))
+		if err != nil {
+			fatal(err)
+		}
+		renderDiff(os.Stdout, old, cur)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
+func readSnapshotFile(path string) (obs.Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return obs.Snapshot{}, err
+	}
+	defer f.Close()
+	s, err := obs.ReadSnapshot(f)
+	if err != nil {
+		return obs.Snapshot{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// value renders a sample's headline number: counters and gauges show
+// Value, histograms show count/sum/mean.
+func value(s obs.Sample) string {
+	if s.Kind == "histogram" {
+		mean := 0.0
+		if s.Count > 0 {
+			mean = float64(s.Sum) / float64(s.Count)
+		}
+		return fmt.Sprintf("count=%d sum=%d mean=%.1f", s.Count, s.Sum, mean)
+	}
+	return fmt.Sprintf("%d", s.Value)
+}
+
+// scalar is the number a diff subtracts: Value for counters and gauges,
+// observation count for histograms.
+func scalar(s obs.Sample) int64 {
+	if s.Kind == "histogram" {
+		return int64(s.Count)
+	}
+	return s.Value
+}
+
+// renderSnapshot prints the samples as a path-sorted table.
+func renderSnapshot(w io.Writer, s obs.Snapshot) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "PATH\tKIND\tVALUE")
+	for _, sm := range s.Samples {
+		fmt.Fprintf(tw, "%s\t%s\t%s\n", sm.Path, sm.Kind, value(sm))
+	}
+	tw.Flush()
+}
+
+// renderDiff prints the union of both snapshots' paths with a delta column
+// (new minus old; histograms diff their observation counts). Paths present
+// on only one side still render, with the missing side blank.
+func renderDiff(w io.Writer, old, cur obs.Snapshot) {
+	oldBy := make(map[string]obs.Sample, len(old.Samples))
+	for _, sm := range old.Samples {
+		oldBy[sm.Path] = sm
+	}
+	curBy := make(map[string]obs.Sample, len(cur.Samples))
+	paths := make([]string, 0, len(cur.Samples))
+	for _, sm := range cur.Samples {
+		curBy[sm.Path] = sm
+		paths = append(paths, sm.Path)
+	}
+	for _, sm := range old.Samples {
+		if _, ok := curBy[sm.Path]; !ok {
+			paths = append(paths, sm.Path)
+		}
+	}
+	sort.Strings(paths)
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "PATH\tKIND\tOLD\tNEW\tDELTA")
+	for _, p := range paths {
+		o, hasOld := oldBy[p]
+		c, hasCur := curBy[p]
+		switch {
+		case hasOld && hasCur:
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%+d\n", p, c.Kind, value(o), value(c), scalar(c)-scalar(o))
+		case hasCur:
+			fmt.Fprintf(tw, "%s\t%s\t\t%s\t%+d\n", p, c.Kind, value(c), scalar(c))
+		default:
+			fmt.Fprintf(tw, "%s\t%s\t%s\t\t%+d\n", p, o.Kind, value(o), -scalar(o))
+		}
+	}
+	tw.Flush()
+}
+
+// validateTrace parses a Chrome trace_event JSON stream and checks the
+// invariants tmccsim's tracer guarantees: object form, at least one event,
+// every event a complete ("X") span with non-negative timestamps. On
+// success it prints a one-line summary with the category census.
+func validateTrace(w io.Writer, r io.Reader) error {
+	var f struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Cat  string  `json:"cat"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return fmt.Errorf("not valid trace JSON: %w", err)
+	}
+	if len(f.TraceEvents) == 0 {
+		return fmt.Errorf("trace holds no events")
+	}
+	cats := map[string]int{}
+	for i, e := range f.TraceEvents {
+		if e.Ph != "X" {
+			return fmt.Errorf("event %d (%s): phase %q, want complete span X", i, e.Name, e.Ph)
+		}
+		if e.TS < 0 || e.Dur < 0 {
+			return fmt.Errorf("event %d (%s): negative ts/dur %v/%v", i, e.Name, e.TS, e.Dur)
+		}
+		if e.Cat == "" || e.Name == "" {
+			return fmt.Errorf("event %d: empty cat or name", i)
+		}
+		cats[e.Cat]++
+	}
+	names := make([]string, 0, len(cats))
+	for c := range cats {
+		names = append(names, c)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "trace OK: %d events, %d categories:", len(f.TraceEvents), len(names))
+	for _, c := range names {
+		fmt.Fprintf(w, " %s=%d", c, cats[c])
+	}
+	fmt.Fprintln(w)
+	return nil
+}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tmcc/internal/obs"
+)
+
+func snap(build func(r *obs.Registry)) obs.Snapshot {
+	r := obs.NewRegistry()
+	build(r)
+	return r.Snapshot()
+}
+
+func TestRenderSnapshot(t *testing.T) {
+	s := snap(func(r *obs.Registry) {
+		r.Counter("mc.tmcc.ctecache.hit").Add(12)
+		r.Gauge("sim.placement.ml1Pages").Set(-3)
+		h := r.Histogram("engine.runMS", []int64{10, 100})
+		h.Observe(5)
+		h.Observe(50)
+	})
+	var buf bytes.Buffer
+	renderSnapshot(&buf, s)
+	out := buf.String()
+	for _, want := range []string{
+		"PATH", "mc.tmcc.ctecache.hit", "counter", "12",
+		"sim.placement.ml1Pages", "gauge", "-3",
+		"engine.runMS", "histogram", "count=2 sum=55 mean=27.5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("snapshot table missing %q:\n%s", want, out)
+		}
+	}
+	// Sorted by path: engine before mc before sim.
+	if strings.Index(out, "engine.runMS") > strings.Index(out, "mc.tmcc") {
+		t.Errorf("table not path-sorted:\n%s", out)
+	}
+}
+
+func TestRenderDiff(t *testing.T) {
+	old := snap(func(r *obs.Registry) {
+		r.Counter("a").Add(10)
+		r.Counter("gone").Add(1)
+		r.Histogram("h", []int64{10}).Observe(3)
+	})
+	cur := snap(func(r *obs.Registry) {
+		r.Counter("a").Add(25)
+		r.Counter("fresh").Add(7)
+		h := r.Histogram("h", []int64{10})
+		h.Observe(3)
+		h.Observe(4)
+		h.Observe(5)
+	})
+	var buf bytes.Buffer
+	renderDiff(&buf, old, cur)
+	out := buf.String()
+	for _, want := range []string{"+15", "+7", "-1", "+2", "gone", "fresh"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestValidateTraceAcceptsTracerOutput(t *testing.T) {
+	tr := obs.NewTracer(8)
+	tr.Emit(obs.CatWalk, "walk1d", 0, 10, 20)
+	tr.Emit(obs.CatML2, "decompress", obs.TIDMC, 15, 40)
+	var trace bytes.Buffer
+	if err := tr.WriteChromeTrace(&trace); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := validateTrace(&out, &trace); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{"trace OK", "2 events", "2 categories", "walk=1", "ml2.decompress=1"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("summary missing %q: %s", want, got)
+		}
+	}
+}
+
+func TestValidateTraceRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"not json":    "{",
+		"no events":   `{"traceEvents":[]}`,
+		"wrong phase": `{"traceEvents":[{"name":"x","cat":"c","ph":"B","ts":1,"dur":1}]}`,
+		"negative ts": `{"traceEvents":[{"name":"x","cat":"c","ph":"X","ts":-1,"dur":1}]}`,
+		"empty cat":   `{"traceEvents":[{"name":"x","cat":"","ph":"X","ts":1,"dur":1}]}`,
+	}
+	for name, in := range cases {
+		var out bytes.Buffer
+		if err := validateTrace(&out, strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -11,6 +11,7 @@ package ctecache
 import (
 	"tmcc/internal/cache"
 	"tmcc/internal/config"
+	"tmcc/internal/obs"
 )
 
 // Cache is the MC-side CTE cache.
@@ -18,6 +19,9 @@ type Cache struct {
 	c           *cache.Cache
 	pagesPerBlk uint64
 	cfg         config.CTECacheCfg
+	// Observability counters (nil when not observed): lifetime Lookup
+	// outcomes, bumped live so a registry snapshot mid-run is meaningful.
+	obsHit, obsMiss *obs.Counter
 }
 
 // New builds a CTE cache from its configuration.
@@ -33,11 +37,24 @@ func New(cfg config.CTECacheCfg) *Cache {
 	}
 }
 
+// Observe registers hit/miss counters for Lookup outcomes; nil counters
+// (the default) keep the cache unobserved at zero cost.
+func (c *Cache) Observe(hit, miss *obs.Counter) {
+	c.obsHit, c.obsMiss = hit, miss
+}
+
 // blockFor maps a physical page number to its CTE block id.
 func (c *Cache) blockFor(ppn uint64) uint64 { return ppn / c.pagesPerBlk }
 
 // Lookup probes the cache for the CTE covering ppn.
-func (c *Cache) Lookup(ppn uint64) bool { return c.c.Access(c.blockFor(ppn)) }
+func (c *Cache) Lookup(ppn uint64) bool {
+	if c.c.Access(c.blockFor(ppn)) {
+		c.obsHit.Inc()
+		return true
+	}
+	c.obsMiss.Inc()
+	return false
+}
 
 // Fill caches the CTE block covering ppn after a DRAM fetch.
 func (c *Cache) Fill(ppn uint64) { c.c.Insert(c.blockFor(ppn), 0) }
@@ -83,6 +100,13 @@ type Buffer struct {
 	valid   []bool
 	byPPN   map[uint64]int
 	next    int
+	// Observability counters (nil when not observed).
+	obsHit, obsMiss *obs.Counter
+}
+
+// Observe registers hit/miss counters for Lookup outcomes.
+func (b *Buffer) Observe(hit, miss *obs.Counter) {
+	b.obsHit, b.obsMiss = hit, miss
 }
 
 // NewBuffer returns a buffer with n entries (the paper uses 64).
@@ -114,8 +138,10 @@ func (b *Buffer) Insert(e BufEntry) {
 // Lookup fetches the entry for ppn.
 func (b *Buffer) Lookup(ppn uint64) (BufEntry, bool) {
 	if i, ok := b.byPPN[ppn]; ok {
+		b.obsHit.Inc()
 		return b.entries[i], true
 	}
+	b.obsMiss.Inc()
 	return BufEntry{}, false
 }
 

@@ -22,6 +22,7 @@ import (
 	"sync"
 
 	"tmcc/internal/config"
+	"tmcc/internal/obs"
 	"tmcc/internal/sim"
 )
 
@@ -83,6 +84,45 @@ type Engine struct {
 	mu    sync.Mutex
 	memo  map[Key]*call
 	stats Stats
+
+	ob  *obs.Observer // threaded into every runner; nil = unobserved
+	eob engineObs
+}
+
+// engineObs holds the engine's registered instruments (nil when
+// unobserved). Durations are wall-clock and therefore only meaningful when
+// a clock was injected with SetClock; without one the histograms stay
+// empty.
+type engineObs struct {
+	runs        *obs.Counter
+	memoHits    *obs.Counter
+	coalesced   *obs.Counter
+	queueWaitMS *obs.Histogram
+	runMS       *obs.Histogram
+}
+
+// engineDurBoundsMS buckets queue-wait and run wall times (milliseconds).
+var engineDurBoundsMS = []int64{1, 10, 100, 1000, 10000}
+
+// SetObserver attaches an observer: the engine registers its own
+// scheduling instruments under "engine." and passes the observer to every
+// simulation it executes (memoized results are shared between observed and
+// unobserved callers — the observer is deliberately not part of the memo
+// key, which is sound because observation cannot change what a run
+// computes). Must be called while no jobs are in flight.
+func (e *Engine) SetObserver(o *obs.Observer) {
+	e.ob = o
+	if o == nil {
+		e.eob = engineObs{}
+		return
+	}
+	e.eob = engineObs{
+		runs:        o.Counter("engine.runs"),
+		memoHits:    o.Counter("engine.memo.hits"),
+		coalesced:   o.Counter("engine.memo.coalesced"),
+		queueWaitMS: o.Histogram("engine.queueWaitMS", engineDurBoundsMS),
+		runMS:       o.Histogram("engine.runMS", engineDurBoundsMS),
+	}
 }
 
 // New returns an engine with the given worker-pool width; workers <= 0
@@ -90,14 +130,14 @@ type Engine struct {
 func New(workers int) *Engine {
 	e := &Engine{
 		memo: map[Key]*call{},
-		exec: execute,
 	}
+	e.exec = func(opt sim.Options) (sim.Metrics, error) { return execute(opt, e.ob) }
 	e.SetWorkers(workers)
 	return e
 }
 
-func execute(opt sim.Options) (sim.Metrics, error) {
-	r, err := sim.NewRunner(opt)
+func execute(opt sim.Options, ob *obs.Observer) (sim.Metrics, error) {
+	r, err := sim.NewRunnerObserved(opt, ob)
 	if err != nil {
 		return sim.Metrics{}, err
 	}
@@ -141,10 +181,15 @@ func (e *Engine) Run(opt sim.Options) (sim.Metrics, error) {
 		select {
 		case <-c.done:
 			e.stats.Hits++
+			e.eob.memoHits.Inc()
 		default:
 			e.stats.Coalesced++
+			e.eob.coalesced.Inc()
 		}
 		e.mu.Unlock()
+		// Attribute the deduplicated request to its benchmark (registering
+		// lazily: hit paths only exist for benchmarks actually deduped).
+		e.ob.Counter("engine.memo.dedup." + opt.Benchmark).Inc()
 		<-c.done
 		return c.m, c.err
 	}
@@ -152,20 +197,27 @@ func (e *Engine) Run(opt sim.Options) (sim.Metrics, error) {
 	e.memo[k] = c
 	e.mu.Unlock()
 
+	var qstart int64
+	if e.now != nil {
+		qstart = e.now()
+	}
 	e.sem <- struct{}{}
 	var start int64
 	if e.now != nil {
 		start = e.now()
+		e.eob.queueWaitMS.Observe((start - qstart) / 1e6)
 	}
 	c.m, c.err = e.exec(opt)
 	if e.now != nil {
 		c.nanos = e.now() - start
+		e.eob.runMS.Observe(c.nanos / 1e6)
 	}
 	<-e.sem
 	close(c.done)
 
 	e.mu.Lock()
 	e.stats.Runs++
+	e.eob.runs.Inc()
 	e.stats.RunNanos += c.nanos
 	seq := e.stats.Runs
 	prog := e.prog

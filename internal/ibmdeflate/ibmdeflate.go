@@ -6,7 +6,10 @@
 // memory-specialized design removes.
 package ibmdeflate
 
-import "tmcc/internal/config"
+import (
+	"tmcc/internal/config"
+	"tmcc/internal/obs"
+)
 
 // Model holds the analytic parameters from [11].
 type Model struct {
@@ -27,6 +30,20 @@ func Default() Model {
 		SetupDecompress: 827 * config.Nanosecond,
 		StreamBW:        15.0, // 15 GB/s = 15 B/ns
 	}
+}
+
+// Register publishes the analytic model's parameters and its derived 4KB
+// latencies as gauges under "codec.ibmdeflate." so a metrics snapshot
+// records which ML2 timing a run used. The model itself is stateless.
+func (m Model) Register(o *obs.Observer) {
+	if o == nil {
+		return
+	}
+	const p = "codec.ibmdeflate."
+	o.Gauge(p + "setupCompressPS").Set(int64(m.SetupCompress))
+	o.Gauge(p + "setupDecompressPS").Set(int64(m.SetupDecompress))
+	o.Gauge(p + "compress4kPS").Set(int64(m.CompressLatency(config.PageSize)))
+	o.Gauge(p + "halfPage4kPS").Set(int64(m.HalfPageLatency(config.PageSize)))
 }
 
 func (m Model) stream(bytes int) config.Time {

@@ -22,6 +22,12 @@
 //     prefix so simulator aborts are attributable, and should include the
 //     offending value (enforced for string literals and fmt.Sprintf /
 //     fmt.Errorf formats).
+//   - obs-sink-purity: simulator code under internal/ (except internal/obs
+//     itself) must not construct output sinks — no os.Create / os.OpenFile /
+//     os.NewFile calls and no os.Stdout / os.Stderr references. Metrics
+//     snapshots and trace files are written through io.Writers injected
+//     from the cmd layer, so observability can never smuggle wall-clock or
+//     filesystem effects into a simulation.
 //
 // Suppress a finding with a trailing or preceding comment:
 //
@@ -49,6 +55,7 @@ const (
 	RuleMapIter   = "determinism-map-iter"
 	RuleMagic     = "magic-literal"
 	RulePanic     = "panic-prefix"
+	RuleObsSink   = "obs-sink-purity"
 )
 
 // Diag is one finding.
@@ -105,11 +112,14 @@ func File(fset *token.FileSet, relPath string, f *ast.File) []Diag {
 		inConfig: strings.Contains(relPath+"/", "internal/config/"),
 		allowed:  collectAllows(fset, f),
 	}
-	c.randPkg, c.timePkg = importNames(f)
+	c.randPkg, c.timePkg, c.osPkg = importNames(f)
 	if c.internal {
 		c.checkRand()
 		c.checkWallclock()
 		c.checkMapIter()
+		if !strings.Contains(relPath+"/", "internal/obs/") {
+			c.checkObsSink()
+		}
 	}
 	if !c.inConfig {
 		c.checkMagic()
@@ -136,6 +146,7 @@ type checker struct {
 	inConfig bool
 	randPkg  string
 	timePkg  string
+	osPkg    string
 	// allowed maps line -> rules suppressed on that line ("" = all).
 	allowed map[int]map[string]bool
 	diags   []Diag
@@ -181,9 +192,9 @@ func (c *checker) report(pos token.Pos, rule, msg string) {
 	c.diags = append(c.diags, Diag{Pos: p, Rule: rule, Msg: msg})
 }
 
-// importNames returns the local names under which math/rand and time are
-// imported ("" when not imported, "_"/"." treated as not callable).
-func importNames(f *ast.File) (randName, timeName string) {
+// importNames returns the local names under which math/rand, time, and os
+// are imported ("" when not imported, "_"/"." treated as not callable).
+func importNames(f *ast.File) (randName, timeName, osName string) {
 	for _, imp := range f.Imports {
 		p, err := strconv.Unquote(imp.Path.Value)
 		if err != nil {
@@ -201,9 +212,11 @@ func importNames(f *ast.File) (randName, timeName string) {
 			randName = name
 		case "time":
 			timeName = name
+		case "os":
+			osName = name
 		}
 	}
-	return randName, timeName
+	return randName, timeName, osName
 }
 
 // pkgCall matches a call of the form pkgName.Fun(...) and returns Fun.
@@ -463,6 +476,38 @@ func localNames(rng *ast.RangeStmt) map[string]bool {
 		return true
 	})
 	return out
+}
+
+// --- obs-sink-purity --------------------------------------------------------
+
+// sinkConstructors are the os functions that hand back a writable file.
+var sinkConstructors = map[string]bool{"Create": true, "OpenFile": true, "NewFile": true}
+
+// sinkStreams are the process-level streams internal/ code must not write.
+var sinkStreams = map[string]bool{"Stdout": true, "Stderr": true}
+
+func (c *checker) checkObsSink() {
+	if c.osPkg == "" {
+		return
+	}
+	ast.Inspect(c.file, func(n ast.Node) bool {
+		if call, fun := pkgCall(n, c.osPkg); call != nil && sinkConstructors[fun] {
+			c.report(call.Pos(), RuleObsSink,
+				fmt.Sprintf("%s.%s constructs an output sink under internal/; take an io.Writer injected from the cmd layer instead", c.osPkg, fun))
+			return true
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok || id.Name != c.osPkg || !sinkStreams[sel.Sel.Name] {
+			return true
+		}
+		c.report(sel.Pos(), RuleObsSink,
+			fmt.Sprintf("%s.%s under internal/ bypasses injected sinks; take an io.Writer from the cmd layer instead", c.osPkg, sel.Sel.Name))
+		return true
+	})
 }
 
 // --- magic-literal ----------------------------------------------------------

@@ -326,3 +326,80 @@ func TestDiagStringFormat(t *testing.T) {
 		t.Fatalf("bad diag format: %q", s)
 	}
 }
+
+func TestObsSinkCreateFires(t *testing.T) {
+	src := `package p
+import "os"
+func f() { os.Create("metrics.json") }
+`
+	rules := run(t, "internal/p/p.go", src)
+	if !has(rules, RuleObsSink) {
+		t.Fatalf("want %s, got %v", RuleObsSink, rules)
+	}
+}
+
+func TestObsSinkOpenFileAndStreamsFire(t *testing.T) {
+	src := `package p
+import (
+	"fmt"
+	"os"
+)
+func f() {
+	os.OpenFile("t.trace", 0, 0)
+	fmt.Fprintln(os.Stderr, "x")
+}
+`
+	diags, err := Source("internal/p/p.go", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, d := range diags {
+		if d.Rule == RuleObsSink {
+			n++
+		}
+	}
+	if n != 2 {
+		t.Fatalf("want 2 %s findings (OpenFile + Stderr), got %d: %v", RuleObsSink, n, diags)
+	}
+}
+
+func TestObsSinkAllowedOutsideInternal(t *testing.T) {
+	src := `package main
+import "os"
+func f() { os.Create("metrics.json") }
+`
+	if rules := run(t, "cmd/tmccsim/main.go", src); has(rules, RuleObsSink) {
+		t.Fatalf("rule fired outside internal/: %v", rules)
+	}
+}
+
+func TestObsSinkAllowedInObsPackage(t *testing.T) {
+	src := `package obs
+import "os"
+func f() { os.Create("x") }
+`
+	if rules := run(t, "internal/obs/sink.go", src); has(rules, RuleObsSink) {
+		t.Fatalf("rule fired inside internal/obs: %v", rules)
+	}
+}
+
+func TestObsSinkHarmlessOsUseOK(t *testing.T) {
+	src := `package p
+import "os"
+func f() (string, bool) { return os.LookupEnv("TMCC_DEBUG") }
+`
+	if rules := run(t, "internal/p/p.go", src); has(rules, RuleObsSink) {
+		t.Fatalf("os.LookupEnv flagged: %v", rules)
+	}
+}
+
+func TestObsSinkAllowDirective(t *testing.T) {
+	src := `package p
+import "os"
+func f() { os.Create("x") } //tmcclint:allow obs-sink-purity
+`
+	if rules := run(t, "internal/p/p.go", src); has(rules, RuleObsSink) {
+		t.Fatalf("allow directive did not suppress: %v", rules)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"tmcc/internal/ctecache"
 	"tmcc/internal/dram"
 	"tmcc/internal/freelist"
+	"tmcc/internal/obs"
 	"tmcc/internal/recency"
 	"tmcc/internal/workload"
 )
@@ -75,6 +76,11 @@ type Config struct {
 	// is statistics-only — the paper concludes against caching CTEs in
 	// the LLC, and so do we.
 	VictimShadow bool
+	// Obs, when non-nil, registers lifetime counters under
+	// "mc.<kind>." and emits cycle-domain spans. Unlike Stats, the obs
+	// counters survive ResetStats and aggregate across MC instances
+	// sharing a registry. Pure write-only sink: must not affect timing.
+	Obs *obs.Observer
 }
 
 // AccessTag classifies how an ML1 read was served (Figure 19).
@@ -152,6 +158,79 @@ type MC struct {
 	shadowPPB uint64
 
 	Stats Stats
+	ob    mcObs
+}
+
+// mcObs holds the registered instrument handles. All fields are nil when
+// the controller is unobserved (obs handles are nil-safe), so the bump
+// sites pay one predictable branch each.
+type mcObs struct {
+	tr *obs.Tracer // span sink (nil when tracing off)
+
+	reads, writes     *obs.Counter
+	cteFetchDRAM      *obs.Counter
+	cteMissWalk       *obs.Counter
+	cteVictimHit      *obs.Counter
+	specVerifyOK      *obs.Counter
+	specVerifyFail    *obs.Counter
+	serialNoEmbed     *obs.Counter
+	ml2Reads          *obs.Counter
+	ml2ToML1          *obs.Counter
+	ml1ToML2          *obs.Counter
+	incompressSkips   *obs.Counter
+	ml2DecompressPS   *obs.Histogram // demand ML2 latency, now -> respond, ps
+	ml1Pages, ml1Free *obs.Gauge
+}
+
+// observe registers the controller's instruments under "mc.<kind>.". The
+// registry get-or-creates by path, so several controllers of the same kind
+// (or the same controller rebuilt across runs) aggregate into shared
+// lifetime counters.
+func (m *MC) observe(o *obs.Observer) {
+	if o == nil {
+		return
+	}
+	p := "mc." + m.cfg.Kind.String() + "."
+	m.ob = mcObs{
+		tr:              o.Tr,
+		reads:           o.Counter(p + "reads"),
+		writes:          o.Counter(p + "writes"),
+		cteFetchDRAM:    o.Counter(p + "cte.fetchDRAM"),
+		cteMissWalk:     o.Counter(p + "cte.missWalkRelated"),
+		cteVictimHit:    o.Counter(p + "cte.victimHit"),
+		specVerifyOK:    o.Counter(p + "spec.verifyOK"),
+		specVerifyFail:  o.Counter(p + "spec.verifyFail"),
+		serialNoEmbed:   o.Counter(p + "spec.serialNoEmbed"),
+		ml2Reads:        o.Counter(p + "ml2.reads"),
+		ml2ToML1:        o.Counter(p + "ml2.toML1"),
+		ml1ToML2:        o.Counter(p + "ml1.toML2"),
+		incompressSkips: o.Counter(p + "ml2.incompressSkips"),
+		ml2DecompressPS: o.Histogram(p+"ml2.decompressPS", ml2LatencyBoundsPS),
+		ml1Pages:        o.Gauge(p + "ml1.pages"),
+		ml1Free:         o.Gauge(p + "ml1.freeChunks"),
+	}
+	if m.cte != nil {
+		m.cte.Observe(o.Counter(p+"ctecache.hit"), o.Counter(p+"ctecache.miss"))
+	}
+}
+
+// ml2LatencyBoundsPS buckets demand-decompress latency (in picoseconds):
+// 250ns, 500ns, 1µs, 2µs, 5µs, overflow.
+var ml2LatencyBoundsPS = []int64{
+	int64(250 * config.Nanosecond), int64(500 * config.Nanosecond),
+	int64(1000 * config.Nanosecond), int64(2000 * config.Nanosecond),
+	int64(5000 * config.Nanosecond),
+}
+
+// updateGauges refreshes the ML1 occupancy gauges after a migration. The
+// nil check on the first gauge keeps the unobserved path to one branch
+// (and skips the ml1.Len() call entirely).
+func (m *MC) updateGauges() {
+	if m.ob.ml1Pages == nil {
+		return
+	}
+	m.ob.ml1Pages.Set(int64(m.ml1Size))
+	m.ob.ml1Free.Set(int64(m.ml1.Len()))
 }
 
 // New builds a controller. For compressed designs the caller then Places
@@ -212,6 +291,7 @@ func New(cfg Config) *MC {
 	if cfg.OSPages > 0 {
 		m.pages = make([]pageState, cfg.OSPages)
 	}
+	m.observe(cfg.Obs)
 	return m
 }
 
@@ -350,8 +430,10 @@ func (m *MC) cteAddr(ppn uint64) uint64 {
 func (m *MC) Access(now config.Time, ppn uint64, blockOff int, write bool, embedded *cte.Entry, walkRelated bool) Result {
 	if write {
 		m.Stats.Writes++
+		m.ob.writes.Inc()
 	} else {
 		m.Stats.Reads++
+		m.ob.reads.Inc()
 	}
 	st := &m.pages[ppn]
 	if !st.placed {
@@ -373,10 +455,12 @@ func (m *MC) Access(now config.Time, ppn uint64, blockOff int, write bool, embed
 		m.Stats.CTEMisses++
 		if walkRelated {
 			m.Stats.CTEMissWalkRelated++
+			m.ob.cteMissWalk.Inc()
 		}
 		if m.shadow != nil {
 			if m.shadow.Access(ppn / m.shadowPPB) {
 				m.Stats.CTEVictimHits++
+				m.ob.cteVictimHit.Inc()
 			}
 			m.shadow.Insert(ppn/m.shadowPPB, 0)
 		}
@@ -394,6 +478,8 @@ func (m *MC) accessCompresso(now config.Time, st *pageState, ppn uint64, blockOf
 		// Serial metadata fetch in front of the data access.
 		t = m.dramOp(t, m.cteAddr(ppn), false)
 		m.Stats.CTEFetchesDRAM++
+		m.ob.cteFetchDRAM.Inc()
+		m.ob.tr.Emit(obs.CatCTEFetch, "cte.serial", obs.TIDMC, now, t)
 		m.cte.Fill(ppn)
 	}
 	done := m.dramOp(t, m.dataAddr(st, blockOff), write)
@@ -447,6 +533,8 @@ func (m *MC) accessTwoLevel(now config.Time, st *pageState, ppn uint64, blockOff
 		truth := m.CurrentCTE(ppn)
 		cteDone := m.dramOp(now, m.cteAddr(ppn), false)
 		m.Stats.CTEFetchesDRAM++
+		m.ob.cteFetchDRAM.Inc()
+		m.ob.tr.Emit(obs.CatCTEFetch, "cte.parallel", obs.TIDMC, now, cteDone)
 		m.cte.Fill(ppn)
 		specAddr := uint64(embedded.DRAMPage)*config.PageSize + uint64(blockOff*config.BlockSize)
 		dataDone := m.dramOp(now, specAddr, write)
@@ -454,20 +542,25 @@ func (m *MC) accessTwoLevel(now config.Time, st *pageState, ppn uint64, blockOff
 		if embedded.DRAMPage == truth.DRAMPage && !embedded.InML2 {
 			tag = TagParallelOK
 			m.Stats.ParallelOK++
+			m.ob.specVerifyOK.Inc()
 		} else {
 			// Mismatch: re-access at the correct location.
 			tag = TagParallelWrong
 			m.Stats.ParallelWrong++
+			m.ob.specVerifyFail.Inc()
 			done = m.dramOp(done, m.dataAddr(st, blockOff), write)
 		}
 	default:
 		// Serial: wait for the CTE from DRAM, then fetch the data.
 		t := m.dramOp(now, m.cteAddr(ppn), false)
 		m.Stats.CTEFetchesDRAM++
+		m.ob.cteFetchDRAM.Inc()
+		m.ob.tr.Emit(obs.CatCTEFetch, "cte.serial", obs.TIDMC, now, t)
 		m.cte.Fill(ppn)
 		done = m.dramOp(t, m.dataAddr(st, blockOff), write)
 		tag = TagSerial
 		m.Stats.SerialNoEmbed++
+		m.ob.serialNoEmbed.Inc()
 	}
 	m.maybeEvict(done)
 	return Result{Done: done, Tag: tag}
@@ -478,10 +571,13 @@ func (m *MC) accessTwoLevel(now config.Time, st *pageState, ppn uint64, blockOff
 // block, respond, and migrate the page to ML1 in the background.
 func (m *MC) serveML2(now config.Time, st *pageState, ppn uint64, blockOff int, cteHit bool) config.Time {
 	m.Stats.ML2Reads++
+	m.ob.ml2Reads.Inc()
 	t := now
 	if !cteHit {
 		t = m.dramOp(t, m.cteAddr(ppn), false)
 		m.Stats.CTEFetchesDRAM++
+		m.ob.cteFetchDRAM.Inc()
+		m.ob.tr.Emit(obs.CatCTEFetch, "cte.serial", obs.TIDMC, now, t)
 		m.cte.Fill(ppn)
 	}
 	// Wait for a free migration-buffer entry (eight 4KB staging slots).
@@ -514,6 +610,8 @@ func (m *MC) serveML2(now config.Time, st *pageState, ppn uint64, blockOff int, 
 	// The decompressor starts once the first blocks arrive and the
 	// requested 64B block is ready after the half-page latency on average.
 	respond := maxTime(t, last) + m.cfg.ML2HalfPage
+	m.ob.tr.Emit(obs.CatML2, "decompress", obs.TIDMC, now, respond)
+	m.ob.ml2DecompressPS.Observe(int64(respond - now))
 
 	// Background migration to ML1.
 	chunk, ok := m.ml1.Pop()
@@ -531,6 +629,7 @@ func (m *MC) serveML2(now config.Time, st *pageState, ppn uint64, blockOff int, 
 	m.ml1Size++
 	m.rec.Touch(ppn)
 	m.Stats.ML2ToML1++
+	m.ob.ml2ToML1.Inc()
 	// The page write-out occupies the staging slot and posts 64 writes,
 	// again holding at most MaxQueueSlots at a time.
 	wwin := make([]config.Time, slots)
@@ -541,6 +640,8 @@ func (m *MC) serveML2(now config.Time, st *pageState, ppn uint64, blockOff int, 
 		wwin[b%slots] = wt
 	}
 	m.migBuf[slot] = wt
+	m.ob.tr.Emit(obs.CatMigration, "ml2->ml1", obs.TIDMC, respond, wt)
+	m.updateGauges()
 	if check.Enabled {
 		check.Invariant("mc: chunk-conservation after ML2 demand migration", m.audit)
 	}
@@ -604,6 +705,7 @@ func (m *MC) evictOne(now config.Time) bool {
 			// we do not repeatedly recompress it (Section IV-B).
 			st.incompressible = true
 			m.Stats.IncompressSkips++
+			m.ob.incompressSkips.Inc()
 			continue
 		}
 		sub, ok := m.ml2.Alloc(size)
@@ -622,14 +724,19 @@ func (m *MC) evictOne(now config.Time) bool {
 		}
 		t := now + m.cfg.ML2Compress
 		wwin := make([]config.Time, slots)
+		wlast := t
 		for i, a := range m.ml2.BlockAddresses(sub, size) {
-			wwin[i%slots] = m.dram.Write(maxTime(t, wwin[i%slots]), a)
+			wlast = m.dram.Write(maxTime(t, wwin[i%slots]), a)
+			wwin[i%slots] = wlast
 		}
 		m.ml1.Push(st.chunk)
 		st.inML2 = true
 		st.sub = sub
 		m.ml1Size--
 		m.Stats.ML1ToML2++
+		m.ob.ml1ToML2.Inc()
+		m.ob.tr.Emit(obs.CatMigration, "ml1->ml2", obs.TIDMC, now, wlast)
+		m.updateGauges()
 		if check.Enabled {
 			check.Invariant("mc: chunk-conservation after eviction", m.audit)
 		}

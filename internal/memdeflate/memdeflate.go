@@ -30,6 +30,7 @@ import (
 
 	"tmcc/internal/huffman"
 	"tmcc/internal/lz"
+	"tmcc/internal/obs"
 )
 
 // PageSize is the unit this ASIC compresses.
@@ -71,6 +72,20 @@ func DefaultParams() Params {
 type Codec struct {
 	p  Params
 	lz *lz.Compressor
+	// Observability counters (nil when not observed).
+	obsPages, obsStored, obsBytesOut *obs.Counter
+}
+
+// Observe registers lifetime compression counters under
+// "codec.memdeflate."; a nil observer leaves the codec unobserved.
+func (c *Codec) Observe(o *obs.Observer) {
+	if o == nil {
+		return
+	}
+	const p = "codec.memdeflate."
+	c.obsPages = o.Counter(p + "pages")
+	c.obsStored = o.Counter(p + "incompressible")
+	c.obsBytesOut = o.Counter(p + "bytesOut")
 }
 
 // New returns a Codec for the given parameters.
@@ -150,11 +165,15 @@ func (c *Codec) Compress(page []byte) (enc []byte, st PageStats, ok bool) {
 		enc = append(enc, lzOut...)
 	}
 	st.EncodedSize = len(enc)
+	c.obsPages.Inc()
 	if len(enc) >= PageSize {
 		st.Stored = true
 		st.EncodedSize = PageSize
+		c.obsStored.Inc()
+		c.obsBytesOut.Add(PageSize)
 		return nil, st, false
 	}
+	c.obsBytesOut.Add(uint64(len(enc)))
 	return enc, st, true
 }
 

@@ -1,0 +1,92 @@
+// Package obs is the simulator-wide observability layer: a hierarchical
+// metrics registry (counters, gauges, fixed-bucket histograms keyed by
+// dotted paths such as "mc.tmcc.ctecache.hit") and a cycle-domain event
+// tracer whose spans are keyed by *simulated* time (config.Time,
+// picoseconds), never the wall clock.
+//
+// Design rules, in priority order:
+//
+//  1. Disabled observability costs nothing. Every handle type (*Counter,
+//     *Gauge, *Histogram, *Tracer, *Observer) is fully inert as a nil
+//     pointer: the hot-path methods start with a nil receiver check, so
+//     components hold the handles unconditionally and the disabled path is
+//     one predictable branch — no interface dispatch, no allocation.
+//  2. Enabling observability must not perturb simulation results. The
+//     registry and tracer are write-only sinks from the simulator's point
+//     of view: nothing in internal/ reads them back into timing or
+//     placement decisions, and internal/sim's determinism tests pin
+//     byte-identical Metrics with observation on and off.
+//  3. internal/ stays wall-clock-free and sink-free. Spans carry simulated
+//     timestamps; registry snapshots and trace files are written through
+//     io.Writers constructed and injected at the cmd layer (the tmcclint
+//     rule obs-sink-purity enforces this for every internal package except
+//     this one).
+//
+// Components register their instruments at construction (get-or-create by
+// path, so repeated construction aggregates into the same instrument) and
+// bump them inline. Snapshots are deterministic: samples sort by path.
+package obs
+
+import "tmcc/internal/config"
+
+// Span categories (the "cat" field of emitted trace events). Keep these in
+// sync with the taxonomy table in DESIGN.md's Observability section.
+const (
+	CatPhase     = "phase"          // placement / warmup / measure run phases
+	CatWalk      = "walk"           // page walks (1D and 2D)
+	CatCTEFetch  = "cte.fetch"      // serial CTE fetches from DRAM
+	CatML2       = "ml2.decompress" // demand ML2 reads (decompress + respond)
+	CatMigration = "migration"      // ML1 -> ML2 eviction compress+writeout
+)
+
+// TIDMC is the trace thread id used for memory-controller-side spans;
+// core-side spans use the core id (0..cores-1), which stays far below it.
+const TIDMC = 255
+
+// Observer bundles the registry and tracer one process (or one test)
+// observes with. A nil *Observer is fully inert; so is an Observer with
+// nil fields, which lets callers enable metrics without tracing and vice
+// versa.
+type Observer struct {
+	Reg *Registry
+	Tr  *Tracer
+}
+
+// New returns an Observer with a fresh registry and a default-capacity
+// tracer.
+func New() *Observer {
+	return &Observer{Reg: NewRegistry(), Tr: NewTracer(0)}
+}
+
+// Counter registers (or finds) the counter at path; nil-safe.
+func (o *Observer) Counter(path string) *Counter {
+	if o == nil {
+		return nil
+	}
+	return o.Reg.Counter(path)
+}
+
+// Gauge registers (or finds) the gauge at path; nil-safe.
+func (o *Observer) Gauge(path string) *Gauge {
+	if o == nil {
+		return nil
+	}
+	return o.Reg.Gauge(path)
+}
+
+// Histogram registers (or finds) the histogram at path; nil-safe. bounds
+// are inclusive upper bounds; one overflow bucket is added past the last.
+func (o *Observer) Histogram(path string, bounds []int64) *Histogram {
+	if o == nil {
+		return nil
+	}
+	return o.Reg.Histogram(path, bounds)
+}
+
+// Span emits one completed interval in simulated time; nil-safe.
+func (o *Observer) Span(cat, name string, tid int, start, end config.Time) {
+	if o == nil {
+		return
+	}
+	o.Tr.Emit(cat, name, tid, start, end)
+}

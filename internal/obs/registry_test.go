@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilHandlesAreInert(t *testing.T) {
+	var o *Observer
+	c := o.Counter("x")
+	g := o.Gauge("y")
+	h := o.Histogram("z", []int64{1, 2})
+	c.Inc()
+	c.Add(10)
+	g.Set(5)
+	h.Observe(3)
+	o.Span(CatWalk, "w", 0, 0, 10)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatal("nil instruments recorded something")
+	}
+	var r *Registry
+	if r.Counter("x") != nil {
+		t.Fatal("nil registry handed out a live counter")
+	}
+	if s := r.Snapshot(); len(s.Samples) != 0 {
+		t.Fatal("nil registry snapshot not empty")
+	}
+	var tr *Tracer
+	tr.Emit(CatWalk, "w", 0, 0, 10)
+	if tr.Spans() != nil || tr.Dropped() != 0 {
+		t.Fatal("nil tracer recorded something")
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("mc.tmcc.cte.hit")
+	b := r.Counter("mc.tmcc.cte.hit")
+	if a != b {
+		t.Fatal("same path returned distinct counters")
+	}
+	a.Add(3)
+	b.Add(4)
+	if a.Value() != 7 {
+		t.Fatalf("aggregated value = %d, want 7", a.Value())
+	}
+}
+
+func TestRegistryKindCollisionPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("p.q")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("gauge at a counter path did not panic")
+		}
+	}()
+	r.Gauge("p.q")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []int64{60, 80, 120})
+	for _, v := range []int64{10, 60, 61, 80, 100, 500} {
+		h.Observe(v)
+	}
+	s, ok := r.Snapshot().Get("lat")
+	if !ok {
+		t.Fatal("histogram missing from snapshot")
+	}
+	want := []uint64{2, 2, 1, 1} // <=60: {10,60}; <=80: {61,80}; <=120: {100}; overflow: {500}
+	if len(s.Counts) != len(want) {
+		t.Fatalf("bucket count %d, want %d", len(s.Counts), len(want))
+	}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, s.Counts[i], w)
+		}
+	}
+	if s.Count != 6 || s.Sum != 10+60+61+80+100+500 {
+		t.Errorf("count/sum = %d/%d", s.Count, s.Sum)
+	}
+}
+
+func TestSnapshotSortedAndStable(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z.last").Inc()
+	r.Gauge("a.first").Set(1)
+	r.Histogram("m.mid", []int64{10}).Observe(5)
+	s := r.Snapshot()
+	var paths []string
+	for _, sm := range s.Samples {
+		paths = append(paths, sm.Path)
+	}
+	want := "a.first,m.mid,z.last"
+	if got := strings.Join(paths, ","); got != want {
+		t.Fatalf("snapshot order %q, want %q", got, want)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(42)
+	r.Gauge("g").Set(-7)
+	r.Histogram("h", []int64{1, 2}).Observe(2)
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Samples) != 3 {
+		t.Fatalf("round trip lost samples: %+v", got)
+	}
+	if c, _ := got.Get("c"); c.Value != 42 || c.Kind != "counter" {
+		t.Errorf("counter sample %+v", c)
+	}
+	if g, _ := got.Get("g"); g.Value != -7 {
+		t.Errorf("gauge sample %+v", g)
+	}
+	if h, _ := got.Get("h"); h.Count != 1 || h.Sum != 2 || len(h.Counts) != 3 {
+		t.Errorf("histogram sample %+v", h)
+	}
+}
+
+func TestConcurrentBumpsRaceFree(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("shared")
+			h := r.Histogram("hist", []int64{50})
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(int64(j % 100))
+			}
+		}()
+	}
+	wg.Wait()
+	if v := r.Counter("shared").Value(); v != 8000 {
+		t.Fatalf("counter = %d, want 8000", v)
+	}
+	if n := r.Histogram("hist", nil).Count(); n != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", n)
+	}
+}

@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"tmcc/internal/config"
+)
+
+// Span is one completed interval in simulated time.
+type Span struct {
+	Cat   string
+	Name  string
+	TID   int32
+	Start config.Time // simulated picoseconds
+	Dur   config.Time
+}
+
+// DefaultTraceSpans is the default tracer ring capacity. At ~40 bytes per
+// span the default ring holds the newest ~64K spans in ~2.5 MB regardless
+// of run length.
+const DefaultTraceSpans = 1 << 16
+
+// Tracer collects spans into a fixed-capacity ring: when full, the oldest
+// spans are overwritten and counted as dropped, so tracing a long run is
+// bounded in memory and keeps the most recent window. Emit is safe for
+// concurrent use. A nil *Tracer ignores every operation.
+type Tracer struct {
+	mu      sync.Mutex
+	ring    []Span
+	next    int
+	wrapped bool
+	dropped uint64
+}
+
+// NewTracer returns a tracer holding up to capacity spans; capacity <= 0
+// selects DefaultTraceSpans.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceSpans
+	}
+	return &Tracer{ring: make([]Span, capacity)}
+}
+
+// Emit records one completed span. Spans with end < start are clamped to
+// zero duration rather than rejected (re-ordered completion times occur
+// legitimately around resource-reservation models).
+func (t *Tracer) Emit(cat, name string, tid int, start, end config.Time) {
+	if t == nil {
+		return
+	}
+	dur := end - start
+	if dur < 0 {
+		dur = 0
+	}
+	t.mu.Lock()
+	if t.wrapped {
+		t.dropped++
+	}
+	t.ring[t.next] = Span{Cat: cat, Name: name, TID: int32(tid), Start: start, Dur: dur}
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.wrapped = true
+	}
+	t.mu.Unlock()
+}
+
+// Spans returns the retained spans, oldest first.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.wrapped {
+		return append([]Span(nil), t.ring[:t.next]...)
+	}
+	out := make([]Span, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Dropped reports how many spans the ring has overwritten.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// traceEvent is one Chrome trace_event record ("X" = complete event). The
+// "ts"/"dur" fields are microseconds by the format's definition; we map
+// simulated picoseconds onto them (1 simulated ps -> 1e-6 trace µs), so a
+// nanosecond of simulated time renders as a millisecond-free 0.001 µs —
+// Perfetto and chrome://tracing both display sub-µs spans fine.
+type traceEvent struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ph   string  `json:"ph"`
+	TS   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	PID  int     `json:"pid"`
+	TID  int32   `json:"tid"`
+}
+
+type traceFile struct {
+	TraceEvents     []traceEvent      `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData,omitempty"`
+}
+
+// WriteChromeTrace writes the retained spans as Chrome trace_event JSON
+// (object form) to the injected sink. Events are sorted by simulated start
+// time (ties by category, name, tid), so a single-threaded run serializes
+// deterministically. Timestamps are simulated time — open the file in
+// Perfetto or chrome://tracing and the timeline is cycles, not wall time.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	spans := t.Spans()
+	sort.SliceStable(spans, func(i, j int) bool {
+		a, b := spans[i], spans[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.Cat != b.Cat {
+			return a.Cat < b.Cat
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return a.TID < b.TID
+	})
+	f := traceFile{
+		TraceEvents:     make([]traceEvent, 0, len(spans)),
+		DisplayTimeUnit: "ns",
+		OtherData:       map[string]string{"clockDomain": "simulated-picoseconds"},
+	}
+	if d := t.Dropped(); d > 0 {
+		f.OtherData["droppedSpans"] = fmt.Sprintf("%d", d)
+	}
+	for _, s := range spans {
+		f.TraceEvents = append(f.TraceEvents, traceEvent{
+			Name: s.Name,
+			Cat:  s.Cat,
+			Ph:   "X",
+			TS:   float64(s.Start) / 1e6,
+			Dur:  float64(s.Dur) / 1e6,
+			PID:  0,
+			TID:  s.TID,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(f)
+}

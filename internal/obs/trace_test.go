@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"tmcc/internal/config"
+)
+
+func TestTracerRingOverwritesOldest(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 6; i++ {
+		tr.Emit(CatWalk, "w", 0, config.Time(i), config.Time(i+1))
+	}
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("retained %d spans, want 4", len(spans))
+	}
+	if spans[0].Start != 2 || spans[3].Start != 5 {
+		t.Fatalf("ring kept wrong window: %+v", spans)
+	}
+	if tr.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2", tr.Dropped())
+	}
+}
+
+func TestEmitClampsNegativeDuration(t *testing.T) {
+	tr := NewTracer(4)
+	tr.Emit(CatML2, "d", TIDMC, 100, 50)
+	if s := tr.Spans(); s[0].Dur != 0 {
+		t.Fatalf("negative duration not clamped: %+v", s[0])
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	tr := NewTracer(16)
+	tr.Emit(CatML2, "decompress", TIDMC, 2*config.Nanosecond, 5*config.Nanosecond)
+	tr.Emit(CatWalk, "walk", 1, 1*config.Nanosecond, 3*config.Nanosecond)
+	tr.Emit(CatPhase, "measure", 0, 0, 10*config.Nanosecond)
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Cat  string  `json:"cat"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			TID  int32   `json:"tid"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(f.TraceEvents) != 3 {
+		t.Fatalf("got %d events, want 3", len(f.TraceEvents))
+	}
+	// Sorted by simulated start time.
+	if f.TraceEvents[0].Name != "measure" || f.TraceEvents[1].Name != "walk" {
+		t.Fatalf("events not sorted by start: %+v", f.TraceEvents)
+	}
+	// 1 ns simulated = 0.001 trace µs.
+	if f.TraceEvents[1].TS != 0.001 || f.TraceEvents[1].Dur != 0.002 {
+		t.Fatalf("walk ts/dur = %v/%v, want 0.001/0.002", f.TraceEvents[1].TS, f.TraceEvents[1].Dur)
+	}
+	for _, e := range f.TraceEvents {
+		if e.Ph != "X" {
+			t.Errorf("event %q has phase %q, want X", e.Name, e.Ph)
+		}
+	}
+}
+
+func TestWriteChromeTraceDeterministic(t *testing.T) {
+	build := func() *bytes.Buffer {
+		tr := NewTracer(8)
+		tr.Emit(CatCTEFetch, "cte", TIDMC, 7, 9)
+		tr.Emit(CatMigration, "evict", TIDMC, 7, 20)
+		tr.Emit(CatWalk, "walk", 2, 3, 5)
+		var buf bytes.Buffer
+		if err := tr.WriteChromeTrace(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return &buf
+	}
+	if a, b := build(), build(); !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("identical emissions serialized differently")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"tmcc/internal/ibmdeflate"
 	"tmcc/internal/mc"
 	"tmcc/internal/memdeflate"
+	"tmcc/internal/obs"
 	"tmcc/internal/pagetable"
 	"tmcc/internal/ptbcomp"
 	"tmcc/internal/tlb"
@@ -38,7 +39,13 @@ func CompressoBudgetPages(footprint uint64, sizes *workload.SizeModel) uint64 {
 }
 
 // NewRunner builds a complete simulated system for the options.
-func NewRunner(opt Options) (*Runner, error) {
+func NewRunner(opt Options) (*Runner, error) { return NewRunnerObserved(opt, nil) }
+
+// NewRunnerObserved builds the system with an observer attached. The
+// observer deliberately lives outside Options: Options is the experiment
+// engine's memoization key, and observation must never change what a run
+// computes. A nil observer is exactly NewRunner.
+func NewRunnerObserved(opt Options, ob *obs.Observer) (*Runner, error) {
 	spec, ok := workload.SpecFor(opt.Benchmark)
 	if !ok {
 		return nil, fmt.Errorf("sim: unknown benchmark %q", opt.Benchmark)
@@ -47,7 +54,7 @@ func NewRunner(opt Options) (*Runner, error) {
 	if sys.CPU.Cores == 0 {
 		sys = config.Default()
 	}
-	sizes, err := workload.NewSizeModel(opt.Benchmark, 256, opt.Seed, memdeflate.DefaultParams())
+	sizes, err := workload.NewSizeModelObserved(opt.Benchmark, 256, opt.Seed, memdeflate.DefaultParams(), ob)
 	if err != nil {
 		return nil, err
 	}
@@ -86,6 +93,7 @@ func NewRunner(opt Options) (*Runner, error) {
 			comp = config.Time(sizes.MeanCompressPS)
 		} else {
 			m := ibmdeflate.Default()
+			m.Register(ob)
 			half = m.HalfPageLatency(config.PageSize)
 			comp = m.CompressLatency(config.PageSize)
 		}
@@ -108,6 +116,7 @@ func NewRunner(opt Options) (*Runner, error) {
 		Seed:         opt.Seed,
 		CTEOverride:  opt.CTEOverride,
 		VictimShadow: opt.VictimShadow,
+		Obs:          ob,
 	})
 
 	r := &Runner{
@@ -158,6 +167,17 @@ func NewRunner(opt Options) (*Runner, error) {
 	mcc.Settle()
 	if opt.Kind == mc.TMCC && !opt.DisableEmbed {
 		r.warmEmbeddings()
+	}
+	r.observe(ob)
+	if ob != nil {
+		// Placement is atomic (no simulated time elapses); record its
+		// outcome as gauges and mark it in the trace as a zero-length
+		// phase at t=0.
+		ob.Gauge("sim.placement.budgetPages").Set(int64(budget))
+		ob.Gauge("sim.placement.osPages").Set(int64(osPages))
+		ob.Gauge("sim.placement.ml1Pages").Set(int64(mcc.ML1Pages()))
+		ob.Gauge("sim.placement.usedPages").Set(int64(mcc.UsedPages()))
+		ob.Span(obs.CatPhase, "placement", 0, 0, 0)
 	}
 	return r, nil
 }

@@ -1,0 +1,204 @@
+package sim
+
+import (
+	"testing"
+
+	"tmcc/internal/mc"
+	"tmcc/internal/obs"
+)
+
+// tightOpts is the obs acceptance configuration: canneal under TMCC at a
+// budget tight enough (80% of Compresso's natural usage) that the measured
+// window exercises ML2 demand reads, migrations, speculation, and the CTE
+// structures all at once.
+func tightOpts(t *testing.T) Options {
+	t.Helper()
+	base := CompressoBudget("canneal", 42)
+	if base == 0 {
+		t.Fatal("CompressoBudget returned 0")
+	}
+	return Options{
+		Benchmark:       "canneal",
+		Kind:            mc.TMCC,
+		BudgetPages:     base * 8 / 10,
+		WarmupAccesses:  30000,
+		MeasureAccesses: 30000,
+		Seed:            42,
+	}
+}
+
+// TestObservationDoesNotPerturbResults is the layer's core guarantee: a
+// run observed with a live registry and tracer returns Metrics identical
+// to an unobserved run of the same Options, for every design.
+func TestObservationDoesNotPerturbResults(t *testing.T) {
+	for _, kind := range []mc.Kind{mc.Uncompressed, mc.Compresso, mc.OSInspired, mc.TMCC} {
+		opt := Options{
+			Benchmark:       "canneal",
+			Kind:            kind,
+			WarmupAccesses:  20000,
+			MeasureAccesses: 20000,
+			Seed:            7,
+		}
+		plain, err := NewRunner(opt)
+		if err != nil {
+			t.Fatalf("%v: NewRunner: %v", kind, err)
+		}
+		observed, err := NewRunnerObserved(opt, obs.New())
+		if err != nil {
+			t.Fatalf("%v: NewRunnerObserved: %v", kind, err)
+		}
+		a, b := plain.Run(), observed.Run()
+		if a != b {
+			t.Errorf("%v: observation changed the results:\nplain:    %+v\nobserved: %+v", kind, a, b)
+		}
+	}
+}
+
+// TestObsCountersConsistentWithMetrics pins the acceptance bar: after an
+// observed tight-budget TMCC run, the registry holds nonzero CTE cache,
+// speculation, and ML2 counters, each consistent with the corresponding
+// sim.Metrics aggregate. The obs counters are lifetime (placement + warmup
+// + measure) while Metrics covers only the measured window, so the
+// invariant is obs >= metrics, with obs > 0 wherever metrics > 0.
+func TestObsCountersConsistentWithMetrics(t *testing.T) {
+	ob := obs.New()
+	r, err := NewRunnerObserved(tightOpts(t), ob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := r.Run()
+	if m.MC.ML2Reads == 0 {
+		t.Fatal("tight budget produced no ML2 demand reads; the fixture lost its bite")
+	}
+	snap := ob.Reg.Snapshot()
+	counter := func(path string) uint64 {
+		s, ok := snap.Get(path)
+		if !ok {
+			t.Fatalf("counter %q missing from snapshot", path)
+		}
+		return uint64(s.Value)
+	}
+
+	checks := []struct {
+		path string
+		min  uint64 // final measured-window value; lifetime must be >= it
+	}{
+		{"mc.tmcc.ctecache.hit", m.MC.CTEHits},
+		{"mc.tmcc.ctecache.miss", m.MC.CTEMisses},
+		{"mc.tmcc.cte.fetchDRAM", m.MC.CTEFetchesDRAM},
+		{"mc.tmcc.spec.verifyOK", m.MC.ParallelOK},
+		{"mc.tmcc.spec.verifyFail", m.MC.ParallelWrong},
+		{"mc.tmcc.ml2.reads", m.MC.ML2Reads},
+		{"mc.tmcc.ml2.toML1", m.MC.ML2ToML1},
+		{"mc.tmcc.ml1.toML2", m.MC.ML1ToML2},
+	}
+	for _, c := range checks {
+		got := counter(c.path)
+		if got < c.min {
+			t.Errorf("%s = %d, below the measured-window value %d", c.path, got, c.min)
+		}
+		if c.min > 0 && got == 0 {
+			t.Errorf("%s is zero but the run measured %d", c.path, c.min)
+		}
+	}
+	// CTE cache traffic and speculation must actually have happened.
+	for _, path := range []string{"mc.tmcc.ctecache.hit", "mc.tmcc.ctecache.miss", "mc.tmcc.ml2.reads"} {
+		if counter(path) == 0 {
+			t.Errorf("%s is zero after a tight-budget TMCC run", path)
+		}
+	}
+	if counter("mc.tmcc.spec.verifyOK")+counter("mc.tmcc.spec.verifyFail") == 0 {
+		t.Error("no speculative verifications recorded")
+	}
+
+	// Recording-gated sim counters advance by exactly the Metrics deltas
+	// on a fresh registry (one run, one runner).
+	exact := []struct {
+		path string
+		want uint64
+	}{
+		{"sim.tlb.miss", m.TLBMisses},
+		{"sim.walk.count", m.Walks},
+		{"sim.walk.refs", m.WalkRefs},
+		{"sim.l3.miss", m.LLCMisses},
+		{"sim.l3.writeback", m.Writebacks},
+	}
+	for _, c := range exact {
+		if got := counter(c.path); got != c.want {
+			t.Errorf("%s = %d, want exactly %d", c.path, got, c.want)
+		}
+	}
+	if s, ok := snap.Get("sim.l3.missLatencyNS"); !ok || s.Count != m.LLCMisses {
+		t.Errorf("sim.l3.missLatencyNS count = %d, want %d", s.Count, m.LLCMisses)
+	}
+
+	// The trace must cover the span taxonomy: phases, walks, CTE fetches,
+	// ML2 decompresses, and migrations.
+	cats := map[string]int{}
+	for _, sp := range ob.Tr.Spans() {
+		cats[sp.Cat]++
+	}
+	for _, want := range []string{obs.CatPhase, obs.CatWalk, obs.CatCTEFetch, obs.CatML2, obs.CatMigration} {
+		if cats[want] == 0 {
+			t.Errorf("no %q spans in the trace (got %v)", want, cats)
+		}
+	}
+	if len(cats) < 4 {
+		t.Errorf("trace has %d span categories, want >= 4: %v", len(cats), cats)
+	}
+}
+
+// TestDerivedMetricsZeroDenominators pins the division guards in the
+// derived-metric methods: a zero-valued Metrics (and any run that measured
+// nothing) must report clean zeros, never NaN or Inf.
+func TestDerivedMetricsZeroDenominators(t *testing.T) {
+	var z Metrics
+	if got := z.IPC(); got != 0 {
+		t.Errorf("zero Metrics IPC = %v, want 0", got)
+	}
+	if got := z.StoresPerCycle(); got != 0 {
+		t.Errorf("zero Metrics StoresPerCycle = %v, want 0", got)
+	}
+	if got := z.AvgL3MissLatencyNS(); got != 0 {
+		t.Errorf("zero Metrics AvgL3MissLatencyNS = %v, want 0", got)
+	}
+
+	// Partial zeros: numerator set, denominator zero.
+	p := Metrics{Instructions: 10, Stores: 5, L3MissLatencySum: 1000}
+	if got := p.IPC(); got != 0 {
+		t.Errorf("Cycles=0 IPC = %v, want 0", got)
+	}
+	if got := p.StoresPerCycle(); got != 0 {
+		t.Errorf("Cycles=0 StoresPerCycle = %v, want 0", got)
+	}
+	if got := p.AvgL3MissLatencyNS(); got != 0 {
+		t.Errorf("LLCMisses=0 AvgL3MissLatencyNS = %v, want 0", got)
+	}
+}
+
+// TestZeroMeasureWindowRunIsFinite runs warmup only (MeasureAccesses=0):
+// every derived metric must stay finite and the raw aggregates zero.
+func TestZeroMeasureWindowRunIsFinite(t *testing.T) {
+	r, err := NewRunner(Options{
+		Benchmark:      "canneal",
+		Kind:           mc.TMCC,
+		WarmupAccesses: 5000,
+		Seed:           42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := r.Run()
+	if m.Cycles != 0 || m.Instructions != 0 || m.LLCMisses != 0 {
+		t.Fatalf("empty measure window recorded work: %+v", m)
+	}
+	for name, v := range map[string]float64{
+		"IPC":                m.IPC(),
+		"StoresPerCycle":     m.StoresPerCycle(),
+		"AvgL3MissLatencyNS": m.AvgL3MissLatencyNS(),
+	} {
+		if v != 0 {
+			t.Errorf("%s = %v on an empty measure window, want 0", name, v)
+		}
+	}
+}

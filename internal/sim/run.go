@@ -6,6 +6,7 @@ import (
 	"tmcc/internal/cte"
 	"tmcc/internal/ctecache"
 	"tmcc/internal/mc"
+	"tmcc/internal/obs"
 	"tmcc/internal/workload"
 )
 
@@ -16,12 +17,15 @@ const flagPrefetched = cache.FlagCompressedPTB << 1
 // Run executes warmup then measurement and returns the metrics.
 func (r *Runner) Run() Metrics {
 	r.recording = false
+	w0 := r.maxCoreTime()
 	r.runAccesses(r.opt.WarmupAccesses)
+	r.sob.tr.Emit(obs.CatPhase, "warmup", 0, w0, r.maxCoreTime())
 	r.resetStats()
 	r.recording = true
 	start := r.maxCoreTime()
 	r.runAccesses(r.opt.MeasureAccesses)
 	end := r.maxCoreTime()
+	r.sob.tr.Emit(obs.CatPhase, "measure", 0, start, end)
 
 	r.m.Elapsed = end - start
 	r.m.Cycles = uint64(r.m.Elapsed / r.cycle)
@@ -103,13 +107,19 @@ func (r *Runner) step(c *core) {
 		if r.recording {
 			r.m.TLBMisses++
 			r.m.Walks++
+			r.sob.tlbMiss.Inc()
+			r.sob.walks.Inc()
 		}
+		wStart := t
+		name := "walk1d"
 		if r.opt.Virtualized {
 			t, _, _ = r.walk2D(c, t, vpn)
+			name = "walk2d"
 		} else {
 			t = r.walk(c, t, vpn)
 			c.wc.FillFromWalk(vpn)
 		}
+		r.sob.tr.Emit(obs.CatWalk, name, c.id, wStart, t)
 		c.tlb.Insert(vpn)
 	}
 
@@ -154,6 +164,7 @@ func (r *Runner) walk(c *core, t config.Time, vpn uint64) config.Time {
 		}
 		if r.recording {
 			r.m.WalkRefs++
+			r.sob.walkRefs.Inc()
 		}
 		block := s.PTBAddr / config.BlockSize
 		t = r.memAccess(c, t, block, false, true, true)
@@ -202,6 +213,7 @@ func (r *Runner) memAccess(c *core, t config.Time, block uint64, write, isPTB, w
 	// LLC miss: go to the MC over the NoC.
 	if r.recording {
 		r.m.LLCMisses++
+		r.sob.llcMiss.Inc()
 	}
 	ppn := block / config.BlocksPage
 	off := int(block % config.BlocksPage)
@@ -216,6 +228,7 @@ func (r *Runner) memAccess(c *core, t config.Time, block uint64, write, isPTB, w
 	done := res.Done + r.noc
 	if r.recording {
 		r.m.L3MissLatencySum += done - t
+		r.sob.missLatNS.Observe(int64((done - t) / config.Nanosecond))
 		ns := int((done - t) / config.Nanosecond)
 		for i, ub := range LatHistBounds {
 			if ns < ub {
@@ -294,6 +307,7 @@ func (r *Runner) insertL2(c *core, block uint64, flags uint8, write, isPTB bool,
 func (r *Runner) writeback(block uint64, now config.Time) {
 	if r.recording {
 		r.m.Writebacks++
+		r.sob.writeback.Inc()
 	}
 	r.mcc.Access(now, block/config.BlocksPage, int(block%config.BlocksPage), true, nil, false)
 }

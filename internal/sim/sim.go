@@ -20,6 +20,7 @@ import (
 	"tmcc/internal/cte"
 	"tmcc/internal/ctecache"
 	"tmcc/internal/mc"
+	"tmcc/internal/obs"
 	"tmcc/internal/pagetable"
 	"tmcc/internal/ptbcomp"
 	"tmcc/internal/tlb"
@@ -169,4 +170,44 @@ type Runner struct {
 
 	m         Metrics
 	recording bool
+	sob       simObs
+}
+
+// simObs holds the runner's registered instrument handles. The counters
+// are bumped only while recording, so at the end of a run each one has
+// advanced by exactly the corresponding Metrics field — unlike the
+// lifetime mc.* counters, which also cover placement and warmup.
+type simObs struct {
+	tr        *obs.Tracer // span sink (nil when tracing off)
+	tlbMiss   *obs.Counter
+	walks     *obs.Counter
+	walkRefs  *obs.Counter
+	llcMiss   *obs.Counter
+	writeback *obs.Counter
+	missLatNS *obs.Histogram // demand L3 miss service latency, ns
+}
+
+// observe registers the runner's instruments under "sim.". Shared paths
+// aggregate across runs observed with the same registry.
+func (r *Runner) observe(o *obs.Observer) {
+	if o == nil {
+		return
+	}
+	bounds := make([]int64, len(LatHistBounds)-1)
+	for i := range bounds {
+		bounds[i] = int64(LatHistBounds[i])
+	}
+	r.sob = simObs{
+		tr:        o.Tr,
+		tlbMiss:   o.Counter("sim.tlb.miss"),
+		walks:     o.Counter("sim.walk.count"),
+		walkRefs:  o.Counter("sim.walk.refs"),
+		llcMiss:   o.Counter("sim.l3.miss"),
+		writeback: o.Counter("sim.l3.writeback"),
+		missLatNS: o.Histogram("sim.l3.missLatencyNS", bounds),
+	}
+	hit, miss := o.Counter("sim.ctebuf.hit"), o.Counter("sim.ctebuf.miss")
+	for _, c := range r.cores {
+		c.buf.Observe(hit, miss)
+	}
 }

@@ -7,6 +7,7 @@ import (
 	"tmcc/internal/blockcomp"
 	"tmcc/internal/content"
 	"tmcc/internal/memdeflate"
+	"tmcc/internal/obs"
 )
 
 // sizeModelKey identifies one deterministic NewSizeModel computation; all
@@ -41,23 +42,34 @@ var (
 // concurrent use; callers must not modify it. Concurrent first requests
 // for the same key coalesce onto a single build.
 func NewSizeModel(benchmark string, nSamples int, seed int64, deflateParams memdeflate.Params) (*SizeModel, error) {
+	return NewSizeModelObserved(benchmark, nSamples, seed, deflateParams, nil)
+}
+
+// NewSizeModelObserved is NewSizeModel with observability attached: memo
+// hits and actual builds are counted under "workload.sizemodel.", and the
+// build's codec reports its per-page compression counters. The observer
+// never enters the memo key — an observed and an unobserved caller share
+// the same cached model.
+func NewSizeModelObserved(benchmark string, nSamples int, seed int64, deflateParams memdeflate.Params, ob *obs.Observer) (*SizeModel, error) {
 	key := sizeModelKey{benchmark, nSamples, seed, deflateParams}
 	sizeModelMu.Lock()
 	c, ok := sizeModels[key]
 	if ok {
 		sizeModelMu.Unlock()
+		ob.Counter("workload.sizemodel.memoHits").Inc()
 		<-c.done
 		return c.m, c.err
 	}
 	c = &sizeModelCall{done: make(chan struct{})}
 	sizeModels[key] = c
 	sizeModelMu.Unlock()
-	c.m, c.err = buildSizeModel(benchmark, nSamples, seed, deflateParams)
+	ob.Counter("workload.sizemodel.builds").Inc()
+	c.m, c.err = buildSizeModel(benchmark, nSamples, seed, deflateParams, ob)
 	close(c.done)
 	return c.m, c.err
 }
 
-func buildSizeModel(benchmark string, nSamples int, seed int64, deflateParams memdeflate.Params) (*SizeModel, error) {
+func buildSizeModel(benchmark string, nSamples int, seed int64, deflateParams memdeflate.Params, ob *obs.Observer) (*SizeModel, error) {
 	prof, ok := content.ProfileFor(benchmark)
 	if !ok {
 		return nil, fmt.Errorf("workload: no content profile for %q", benchmark)
@@ -67,6 +79,7 @@ func buildSizeModel(benchmark string, nSamples int, seed int64, deflateParams me
 	}
 	gen := prof.Generator(seed)
 	codec := memdeflate.New(deflateParams)
+	codec.Observe(ob)
 	best := blockcomp.NewBest()
 	m := &SizeModel{
 		deflateSizes: make([]int, nSamples),
