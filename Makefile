@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint test race debug fuzz-smoke fmt bench engine-smoke obs-smoke
+.PHONY: all build lint test race debug fuzz-smoke fmt bench engine-smoke obs-smoke breakdown-smoke
 
 all: lint test
 
@@ -67,3 +67,29 @@ obs-smoke:
 	/tmp/tmcctop /tmp/tmcc_obs.json > /dev/null
 	/tmp/tmcctop -validate-trace /tmp/tmcc_obs.trace
 	@echo "obs-smoke: observed and plain outputs are byte-identical"
+
+# breakdown-smoke proves the latency-attribution path end to end: an
+# attributed run renders byte-identically to a plain one, every breakdown
+# CSV row conserves (components minus the doubly-counted overlap credit
+# equal the measured total), and each design's signature shows up —
+# serialized CTE time for Compresso, overlap credit for TMCC. fig18
+# exercises the uncompressed, Compresso, and TMCC designs; fig5 adds
+# OS-inspired, so every MC kind runs attributed.
+breakdown-smoke:
+	$(GO) build -o /tmp/tmccsim ./cmd/tmccsim
+	/tmp/tmccsim -exp fig18 -quick -format csv > /tmp/tmccsim_nobd.csv
+	/tmp/tmccsim -exp fig18 -quick -format csv \
+		-breakdown-csv /tmp/tmcc_breakdown.csv -flame /tmp/tmcc.flame \
+		> /tmp/tmccsim_bd.csv
+	diff -u /tmp/tmccsim_nobd.csv /tmp/tmccsim_bd.csv
+	awk -F, 'NR>1 { s=0; for (i=6; i<=17; i++) s+=$$i; s-=2*$$11; \
+		if (s != $$5) { print "unconserved row: " $$0; exit 1 } }' /tmp/tmcc_breakdown.csv
+	awk -F, '$$2=="compresso" && $$3=="demand" { found=1; \
+		if ($$9+0 <= 0) { print "compresso demand row has no serialized CTE time"; exit 1 } } \
+		END { if (!found) { print "no compresso demand row"; exit 1 } }' /tmp/tmcc_breakdown.csv
+	awk -F, '$$2=="tmcc" && $$3=="demand" { found=1; \
+		if ($$11+0 <= 0) { print "tmcc demand row has no overlap credit"; exit 1 } } \
+		END { if (!found) { print "no tmcc demand row"; exit 1 } }' /tmp/tmcc_breakdown.csv
+	test -s /tmp/tmcc.flame
+	/tmp/tmccsim -exp fig5 -quick -format csv -breakdown > /dev/null
+	@echo "breakdown-smoke: attribution conserves and leaves plain output untouched"

@@ -31,6 +31,7 @@ import (
 	"tmcc/internal/exp"
 	"tmcc/internal/exp/engine"
 	"tmcc/internal/obs"
+	"tmcc/internal/obs/attr"
 )
 
 func main() {
@@ -46,6 +47,12 @@ func main() {
 		metrics = flag.String("metrics", "", "write an obs registry snapshot (JSON) to this file at exit")
 		trace   = flag.String("trace", "", "write a Chrome trace_event JSON (simulated time) to this file at exit")
 		pprof   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060)")
+
+		breakdown    = flag.Bool("breakdown", false, "print the latency-attribution breakdown table (stderr) at exit")
+		breakdownCSV = flag.String("breakdown-csv", "", "write the latency-attribution breakdown CSV to this file at exit")
+		flame        = flag.String("flame", "", "write the attribution breakdown as a collapsed-stack file (FlameGraph/speedscope) at exit")
+		watchfile    = flag.String("watchfile", "", "periodically write a watch snapshot (JSON) here for tmcctop -watch")
+		watchEvery   = flag.Duration("watch-every", 2*time.Second, "watch snapshot emission period (with -watchfile)")
 	)
 	flag.Parse()
 
@@ -69,16 +76,25 @@ func main() {
 	// opened here at the cmd layer (internal/ is sink-free; tmcclint
 	// obs-sink-purity). Each surface is built only when requested, so a
 	// plain run stays on the nil fast path.
+	needAttr := *breakdown || *breakdownCSV != "" || *flame != "" || *watchfile != ""
 	var ob *obs.Observer
-	if *metrics != "" || *trace != "" {
+	if *metrics != "" || *trace != "" || needAttr {
 		ob = &obs.Observer{}
-		if *metrics != "" {
+		if *metrics != "" || *watchfile != "" {
 			ob.Reg = obs.NewRegistry()
 		}
 		if *trace != "" {
 			ob.Tr = obs.NewTracer(0)
 		}
+		if needAttr {
+			ob.At = attr.NewRecorder()
+		}
 		eng.SetObserver(ob)
+	}
+	var watchStop, watchDone chan struct{}
+	if *watchfile != "" {
+		watchStop, watchDone = make(chan struct{}), make(chan struct{})
+		go watchLoop(*watchfile, ob, *watchEvery, watchStop, watchDone)
 	}
 	if *stats {
 		eng.SetProgress(func(r engine.Run) {
@@ -108,9 +124,15 @@ func main() {
 		os.Exit(2)
 	}
 
-	if *stats {
-		printStats(os.Stderr, eng.Stats(), *jobs, time.Since(start))
+	if watchStop != nil {
+		// Stop the emitter; it writes one final frame covering the full run.
+		close(watchStop)
+		<-watchDone
 	}
+	if *stats {
+		printStats(os.Stderr, eng.Stats(), *jobs, time.Since(start), ob)
+	}
+	ob.SyncDerived()
 	if *metrics != "" {
 		if err := writeMetrics(*metrics, ob); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -123,6 +145,104 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if needAttr {
+		snap := ob.At.Snapshot()
+		// Re-verify conservation on the aggregate before exporting: a
+		// violation here means an attribution site lost time, and the
+		// artifacts would lie about where cycles went.
+		if err := snap.Conserved(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *breakdown {
+			if err := snap.WriteTable(os.Stderr); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		if *breakdownCSV != "" {
+			if err := writeBreakdownCSV(*breakdownCSV, snap); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		if *flame != "" {
+			if err := writeFlame(*flame, snap); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+// writeBreakdownCSV writes the attribution breakdown rows into path.
+func writeBreakdownCSV(path string, snap attr.Snapshot) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("breakdown-csv: %w", err)
+	}
+	defer f.Close()
+	if err := snap.WriteCSV(f); err != nil {
+		return fmt.Errorf("breakdown-csv: %w", err)
+	}
+	return nil
+}
+
+// writeFlame writes the breakdown as a collapsed-stack file into path.
+func writeFlame(path string, snap attr.Snapshot) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("flame: %w", err)
+	}
+	defer f.Close()
+	if err := obs.WriteCollapsed(f, snap); err != nil {
+		return fmt.Errorf("flame: %w", err)
+	}
+	return nil
+}
+
+// watchLoop periodically writes watch frames for tmcctop -watch; on stop
+// it emits one final frame so short runs still leave a snapshot behind.
+func watchLoop(path string, ob *obs.Observer, every time.Duration, stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	var seq uint64
+	emit := func() {
+		seq++
+		if err := writeWatch(path, ob.Watch(seq, time.Now().UnixNano())); err != nil {
+			fmt.Fprintf(os.Stderr, "watchfile: %v\n", err)
+		}
+	}
+	for {
+		select {
+		case <-tick.C:
+			emit()
+		case <-stop:
+			emit()
+			return
+		}
+	}
+}
+
+// writeWatch writes one frame atomically (temp file + rename) so a
+// concurrent tmcctop -watch never reads a torn snapshot.
+func writeWatch(path string, ws obs.WatchSnapshot) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := ws.WriteJSON(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 // writeMetrics snapshots the registry into path.
@@ -174,7 +294,7 @@ func run(w io.Writer, id string, cfg exp.Config, format string) error {
 }
 
 // printStats renders the engine counters; split from main for the smoke test.
-func printStats(w io.Writer, st engine.Stats, workers int, wall time.Duration) {
+func printStats(w io.Writer, st engine.Stats, workers int, wall time.Duration, ob *obs.Observer) {
 	fmt.Fprintf(w, "engine: %d workers, %d runs executed, %d cache hits (%d coalesced in flight)\n",
 		workers, st.Runs, st.Hits, st.Coalesced)
 	simTime := time.Duration(st.RunNanos)
@@ -184,17 +304,27 @@ func printStats(w io.Writer, st engine.Stats, workers int, wall time.Duration) {
 	}
 	fmt.Fprintf(w, "engine: %v simulation time across workers (%v mean per run), %v wall clock\n",
 		simTime.Round(time.Millisecond), mean.Round(time.Millisecond), wall.Round(time.Millisecond))
-	fmt.Fprintln(w, statsJSON(st, wall))
+	fmt.Fprintln(w, statsJSON(st, wall, ob))
 }
 
 // statsJSON renders the machine-readable one-line engine summary (the last
-// -stats line; CI parses it).
-func statsJSON(st engine.Stats, wall time.Duration) string {
-	b, err := json.Marshal(struct {
+// -stats line; CI parses it). When an observer rode along, the line also
+// carries the tracer's dropped-span count and the attribution totals, so
+// smoke artifacts capture them without extra files.
+func statsJSON(st engine.Stats, wall time.Duration, ob *obs.Observer) string {
+	out := struct {
 		Executed     uint64  `json:"executed"`
 		Deduplicated uint64  `json:"deduplicated"`
 		WallSeconds  float64 `json:"wallSeconds"`
-	}{st.Runs, st.Hits + st.Coalesced, wall.Seconds()})
+		DroppedSpans uint64  `json:"droppedSpans,omitempty"`
+		AttrAccesses uint64  `json:"attrAccesses,omitempty"`
+		AttrTotalPS  int64   `json:"attrTotalPS,omitempty"`
+	}{Executed: st.Runs, Deduplicated: st.Hits + st.Coalesced, WallSeconds: wall.Seconds()}
+	if ob != nil {
+		out.DroppedSpans = ob.Tr.Dropped()
+		out.AttrAccesses, out.AttrTotalPS = ob.At.Snapshot().Totals()
+	}
+	b, err := json.Marshal(out)
 	if err != nil {
 		panic(fmt.Sprintf("tmccsim: marshaling stats: %v", err))
 	}

@@ -12,6 +12,7 @@ import (
 	"tmcc/internal/exp"
 	"tmcc/internal/exp/engine"
 	"tmcc/internal/obs"
+	"tmcc/internal/obs/attr"
 )
 
 // TestRunSmoke drives the cheapest experiment (fig6, the page-table scan)
@@ -56,7 +57,7 @@ func TestStatsOutput(t *testing.T) {
 	}
 
 	var sb strings.Builder
-	printStats(&sb, eng.Stats(), 4, 3*time.Second)
+	printStats(&sb, eng.Stats(), 4, 3*time.Second, nil)
 	got := sb.String()
 	for _, want := range []string{"4 workers", "runs executed", "cache hits", "wall clock"} {
 		if !strings.Contains(got, want) {
@@ -68,7 +69,7 @@ func TestStatsOutput(t *testing.T) {
 // TestStatsJSON pins the machine-readable summary line CI parses.
 func TestStatsJSON(t *testing.T) {
 	st := engine.Stats{Runs: 7, Hits: 3, Coalesced: 2}
-	line := statsJSON(st, 1500*time.Millisecond)
+	line := statsJSON(st, 1500*time.Millisecond, nil)
 	var got struct {
 		Executed     uint64  `json:"executed"`
 		Deduplicated uint64  `json:"deduplicated"`
@@ -79,6 +80,107 @@ func TestStatsJSON(t *testing.T) {
 	}
 	if got.Executed != 7 || got.Deduplicated != 5 || got.WallSeconds != 1.5 {
 		t.Fatalf("stats line = %+v, want executed=7 deduplicated=5 wallSeconds=1.5", got)
+	}
+	if strings.Contains(line, "droppedSpans") || strings.Contains(line, "attrAccesses") {
+		t.Fatalf("observer-less stats line carries observer fields: %s", line)
+	}
+}
+
+// TestStatsJSONWithObserver pins the dropped-span and attribution totals
+// the -stats line gains when an observer rode along.
+func TestStatsJSONWithObserver(t *testing.T) {
+	ob := obs.New()
+	for i := 0; i < obs.DefaultTraceSpans+3; i++ {
+		ob.Span(obs.CatWalk, "w", 0, 0, 1)
+	}
+	a := attr.Access{Class: attr.ClassDemand, Total: 40}
+	a.Add(attr.CDataML1, 40)
+	ob.AttrGroup("canneal", "tmcc").Record(&a)
+	ob.AttrGroup("canneal", "tmcc").Record(&a)
+
+	line := statsJSON(engine.Stats{Runs: 1}, time.Second, ob)
+	var got struct {
+		DroppedSpans uint64 `json:"droppedSpans"`
+		AttrAccesses uint64 `json:"attrAccesses"`
+		AttrTotalPS  int64  `json:"attrTotalPS"`
+	}
+	if err := json.Unmarshal([]byte(line), &got); err != nil {
+		t.Fatalf("stats line is not JSON: %v\n%s", err, line)
+	}
+	if got.DroppedSpans != 3 {
+		t.Errorf("droppedSpans = %d, want 3", got.DroppedSpans)
+	}
+	if got.AttrAccesses != 2 || got.AttrTotalPS != 80 {
+		t.Errorf("attr totals = %d/%d, want 2/80", got.AttrAccesses, got.AttrTotalPS)
+	}
+}
+
+// TestBreakdownFlameAndWatchFiles drives one attributed experiment through
+// the real engine and checks the breakdown CSV, flame, and watch writers.
+func TestBreakdownFlameAndWatchFiles(t *testing.T) {
+	eng := exp.Engine()
+	ob := obs.New()
+	eng.SetObserver(ob)
+	defer eng.SetObserver(nil)
+
+	if err := run(io.Discard, "fig5", exp.Config{Seed: 44, Quick: true}, "csv"); err != nil {
+		t.Fatalf("run(fig5): %v", err)
+	}
+
+	snap := ob.At.Snapshot()
+	if err := snap.Conserved(); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Groups) == 0 {
+		t.Fatal("attributed run recorded no groups")
+	}
+
+	dir := t.TempDir()
+	bpath := filepath.Join(dir, "b.csv")
+	fpath := filepath.Join(dir, "f.flame")
+	wpath := filepath.Join(dir, "w.json")
+	if err := writeBreakdownCSV(bpath, snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFlame(fpath, snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeWatch(wpath, ob.Watch(1, 99)); err != nil {
+		t.Fatal(err)
+	}
+
+	bb, err := os.ReadFile(bpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(bb)), "\n")
+	if len(lines) < 2 || !strings.HasPrefix(lines[0], "benchmark,kind,class,accesses,totalPS") {
+		t.Fatalf("breakdown CSV malformed:\n%s", bb)
+	}
+
+	fb, err := os.ReadFile(fpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fb) == 0 || !strings.Contains(string(fb), ";demand;") {
+		t.Fatalf("flame file malformed:\n%s", fb)
+	}
+
+	wf, err := os.Open(wpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wf.Close()
+	ws, err := obs.ReadWatchSnapshot(wf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.Seq != 1 || ws.UnixNanos != 99 || len(ws.Attr.Groups) == 0 {
+		t.Fatalf("watch frame malformed: seq=%d unixNanos=%d groups=%d",
+			ws.Seq, ws.UnixNanos, len(ws.Attr.Groups))
+	}
+	if _, err := os.Stat(wpath + ".tmp"); !os.IsNotExist(err) {
+		t.Error("watch writer left its temp file behind")
 	}
 }
 

@@ -5,8 +5,11 @@
 //	tmcctop -validate-trace t.trace
 //	                              check a Chrome trace_event file and report
 //	                              its event/category counts (CI uses this)
+//	tmcctop -watch live.json      live mode: re-render the watch file a long
+//	                              `tmccsim -watchfile live.json` run emits
 //
-// Snapshots come from `tmccsim -metrics`, traces from `tmccsim -trace`.
+// Snapshots come from `tmccsim -metrics`, traces from `tmccsim -trace`,
+// watch files from `tmccsim -watchfile`.
 package main
 
 import (
@@ -17,15 +20,21 @@ import (
 	"os"
 	"sort"
 	"text/tabwriter"
+	"time"
 
 	"tmcc/internal/obs"
 )
 
 func main() {
 	validate := flag.String("validate-trace", "", "validate a Chrome trace file instead of rendering snapshots")
+	watch := flag.String("watch", "", "live mode: re-render this tmccsim -watchfile output until interrupted")
+	every := flag.Duration("every", 2*time.Second, "refresh period for -watch")
+	iters := flag.Int("iters", 0, "with -watch: stop after N refreshes (0 = run until interrupted)")
 	flag.Parse()
 
 	switch {
+	case *watch != "":
+		watchLoop(os.Stdout, *watch, *every, *iters)
 	case *validate != "":
 		f, err := os.Open(*validate)
 		if err != nil {
@@ -76,14 +85,20 @@ func readSnapshotFile(path string) (obs.Snapshot, error) {
 }
 
 // value renders a sample's headline number: counters and gauges show
-// Value, histograms show count/sum/mean.
+// Value, histograms show count/sum/mean plus bucket-interpolated
+// quantiles (the overflow bucket reports the last bound as a floor).
 func value(s obs.Sample) string {
 	if s.Kind == "histogram" {
 		mean := 0.0
 		if s.Count > 0 {
 			mean = float64(s.Sum) / float64(s.Count)
 		}
-		return fmt.Sprintf("count=%d sum=%d mean=%.1f", s.Count, s.Sum, mean)
+		out := fmt.Sprintf("count=%d sum=%d mean=%.1f", s.Count, s.Sum, mean)
+		if s.Count > 0 && len(s.Bounds) > 0 {
+			out += fmt.Sprintf(" p50=%.0f p95=%.0f p99=%.0f",
+				s.Quantile(0.50), s.Quantile(0.95), s.Quantile(0.99))
+		}
+		return out
 	}
 	return fmt.Sprintf("%d", s.Value)
 }
@@ -145,6 +160,61 @@ func renderDiff(w io.Writer, old, cur obs.Snapshot) {
 	tw.Flush()
 }
 
+// watchLoop re-renders the watch file every period until interrupted (or
+// for iters refreshes when positive — the tests and bounded CI use that).
+// A missing or torn file is retried on the next tick: tmccsim writes the
+// file atomically, but the watcher may start before the first frame.
+func watchLoop(w io.Writer, path string, every time.Duration, iters int) {
+	var lastSeq uint64
+	first := true
+	for n := 0; iters <= 0 || n < iters; n++ {
+		if !first {
+			time.Sleep(every)
+		}
+		first = false
+		ws, err := readWatchFile(path)
+		if err != nil {
+			fmt.Fprintf(w, "waiting for %s: %v\n", path, err)
+			continue
+		}
+		// Clear the terminal only when a frame rendered, so error lines
+		// above stay visible.
+		fmt.Fprint(w, "\033[H\033[2J")
+		renderWatch(w, ws, lastSeq)
+		lastSeq = ws.Seq
+	}
+}
+
+func readWatchFile(path string) (obs.WatchSnapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return obs.WatchSnapshot{}, err
+	}
+	defer f.Close()
+	return obs.ReadWatchSnapshot(f)
+}
+
+// renderWatch prints one live frame: a header line (sequence number,
+// emitter wall-clock stamp, staleness marker), the attribution breakdown,
+// and the metrics table.
+func renderWatch(w io.Writer, ws obs.WatchSnapshot, lastSeq uint64) {
+	stamp := ""
+	if ws.UnixNanos != 0 {
+		stamp = " emitted " + time.Unix(0, ws.UnixNanos).Format("15:04:05")
+	}
+	stale := ""
+	if ws.Seq == lastSeq {
+		stale = " (stale: no new frame since last refresh)"
+	}
+	fmt.Fprintf(w, "tmcctop -watch: frame %d%s%s\n\n", ws.Seq, stamp, stale)
+	if len(ws.Attr.Groups) > 0 {
+		if err := ws.Attr.WriteTable(w); err != nil {
+			fmt.Fprintf(w, "breakdown: %v\n", err)
+		}
+	}
+	renderSnapshot(w, ws.Metrics)
+}
+
 // validateTrace parses a Chrome trace_event JSON stream and checks the
 // invariants tmccsim's tracer guarantees: object form, at least one event,
 // every event a complete ("X") span with non-negative timestamps. On
@@ -158,9 +228,13 @@ func validateTrace(w io.Writer, r io.Reader) error {
 			TS   float64 `json:"ts"`
 			Dur  float64 `json:"dur"`
 		} `json:"traceEvents"`
+		OtherData map[string]string `json:"otherData"`
 	}
 	if err := json.NewDecoder(r).Decode(&f); err != nil {
 		return fmt.Errorf("not valid trace JSON: %w", err)
+	}
+	if d, ok := f.OtherData["droppedSpans"]; ok && d != "" && d != "0" {
+		fmt.Fprintf(w, "warning: trace ring overwrote %s spans (oldest lost); raise the tracer capacity to keep them\n", d)
 	}
 	if len(f.TraceEvents) == 0 {
 		return fmt.Errorf("trace holds no events")

@@ -2,10 +2,14 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
+	"tmcc/internal/config"
 	"tmcc/internal/obs"
+	"tmcc/internal/obs/attr"
 )
 
 func snap(build func(r *obs.Registry)) obs.Snapshot {
@@ -82,6 +86,114 @@ func TestValidateTraceAcceptsTracerOutput(t *testing.T) {
 			t.Errorf("summary missing %q: %s", want, got)
 		}
 	}
+}
+
+// TestRenderSnapshotQuantiles pins the p50/p95/p99 suffix histograms gain:
+// 100 observations of 50 in a {100,200} bucket layout interpolate to
+// p50=50, p95=95, p99=99 (linear within the first bucket).
+func TestRenderSnapshotQuantiles(t *testing.T) {
+	s := snap(func(r *obs.Registry) {
+		h := r.Histogram("walk.latency", []int64{100, 200})
+		for i := 0; i < 100; i++ {
+			h.Observe(50)
+		}
+	})
+	var buf bytes.Buffer
+	renderSnapshot(&buf, s)
+	out := buf.String()
+	if !strings.Contains(out, "p50=50 p95=95 p99=99") {
+		t.Errorf("histogram row missing interpolated quantiles:\n%s", out)
+	}
+}
+
+func TestValidateTraceWarnsOnDroppedSpans(t *testing.T) {
+	tr := obs.NewTracer(2)
+	for i := 0; i < 5; i++ {
+		t0 := config.Time(i) * 10
+		tr.Emit(obs.CatWalk, "w", 0, t0, t0+5)
+	}
+	var trace bytes.Buffer
+	if err := tr.WriteChromeTrace(&trace); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := validateTrace(&out, &trace); err != nil {
+		t.Fatalf("lossy-but-valid trace rejected: %v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "warning: trace ring overwrote 3 spans") {
+		t.Errorf("no dropped-span warning:\n%s", got)
+	}
+	if !strings.Contains(got, "trace OK") {
+		t.Errorf("warning suppressed the summary:\n%s", got)
+	}
+}
+
+func TestRenderWatch(t *testing.T) {
+	ob := obs.New()
+	ob.Reg.Counter("engine.runs").Add(3)
+	a := attrAccess()
+	ob.AttrGroup("canneal", "tmcc").Record(&a)
+
+	var buf bytes.Buffer
+	renderWatch(&buf, ob.Watch(7, 0), 3)
+	out := buf.String()
+	for _, want := range []string{"frame 7", "[demand] mean ns/access", "canneal", "engine.runs"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("watch frame missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "stale") {
+		t.Errorf("fresh frame marked stale:\n%s", out)
+	}
+
+	buf.Reset()
+	renderWatch(&buf, ob.Watch(7, 0), 7)
+	if !strings.Contains(buf.String(), "stale: no new frame") {
+		t.Errorf("repeated sequence not marked stale:\n%s", buf.String())
+	}
+}
+
+// TestWatchLoopBounded drives the full loop against a real watch file for
+// two iterations: the first before the file exists (the retry line), the
+// second after a frame landed.
+func TestWatchLoopBounded(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "live.json")
+	var buf bytes.Buffer
+	watchLoop(&buf, path, 0, 1)
+	if !strings.Contains(buf.String(), "waiting for") {
+		t.Errorf("missing file did not print the retry line:\n%s", buf.String())
+	}
+
+	ob := obs.New()
+	a := attrAccess()
+	ob.AttrGroup("mcf", "compresso").Record(&a)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ob.Watch(2, 0).WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	buf.Reset()
+	watchLoop(&buf, path, 0, 1)
+	out := buf.String()
+	for _, want := range []string{"frame 2", "mcf", "compresso"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("watch loop frame missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func attrAccess() attr.Access {
+	var a attr.Access
+	a.Class = attr.ClassDemand
+	a.Add(attr.CWalk, 1000)
+	a.Add(attr.CDataML1, 500)
+	a.Total = 1500
+	return a
 }
 
 func TestValidateTraceRejectsBadInput(t *testing.T) {

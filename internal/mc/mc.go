@@ -31,6 +31,7 @@ import (
 	"tmcc/internal/dram"
 	"tmcc/internal/freelist"
 	"tmcc/internal/obs"
+	"tmcc/internal/obs/attr"
 	"tmcc/internal/recency"
 	"tmcc/internal/workload"
 )
@@ -159,6 +160,13 @@ type MC struct {
 
 	Stats Stats
 	ob    mcObs
+
+	// ab is the per-access attribution scratch, allocated only when the
+	// observer carries an attr.Recorder. Each Access resets and refills
+	// it with the memory-side latency components; the simulator reads it
+	// back through Attr, folds in walk/NoC time, and records the finished
+	// breakdown. nil when attribution is off (one-branch fills).
+	ab *attr.Access
 }
 
 // mcObs holds the registered instrument handles. All fields are nil when
@@ -212,7 +220,15 @@ func (m *MC) observe(o *obs.Observer) {
 	if m.cte != nil {
 		m.cte.Observe(o.Counter(p+"ctecache.hit"), o.Counter(p+"ctecache.miss"))
 	}
+	if o.At != nil {
+		m.ab = new(attr.Access)
+	}
 }
+
+// Attr exposes the attribution scratch filled by the last Access; nil
+// when attribution is off. Callers must copy it before issuing further
+// accesses (writebacks, prefetches, and nested re-accesses reuse it).
+func (m *MC) Attr() *attr.Access { return m.ab }
 
 // ml2LatencyBoundsPS buckets demand-decompress latency (in picoseconds):
 // 250ns, 500ns, 1µs, 2µs, 5µs, overflow.
@@ -435,6 +451,9 @@ func (m *MC) Access(now config.Time, ppn uint64, blockOff int, write bool, embed
 		m.Stats.Reads++
 		m.ob.reads.Inc()
 	}
+	if m.ab != nil {
+		m.ab.Reset()
+	}
 	st := &m.pages[ppn]
 	if !st.placed {
 		// Lazily place pages first touched during simulation (e.g. table
@@ -444,6 +463,9 @@ func (m *MC) Access(now config.Time, ppn uint64, blockOff int, write bool, embed
 
 	if m.cfg.Kind == Uncompressed {
 		done := m.dramOp(now, m.dataAddr(st, blockOff), write)
+		if m.ab != nil {
+			m.ab.Add(attr.CDataML1, done-now)
+		}
 		return Result{Done: done, Tag: TagUncompressed}
 	}
 
@@ -483,6 +505,12 @@ func (m *MC) accessCompresso(now config.Time, st *pageState, ppn uint64, blockOf
 		m.cte.Fill(ppn)
 	}
 	done := m.dramOp(t, m.dataAddr(st, blockOff), write)
+	if m.ab != nil {
+		// The repack traffic below is background DRAM work, not on this
+		// access's critical path, so it stays unattributed.
+		m.ab.Add(attr.CCTESerial, t-now)
+		m.ab.Add(attr.CDataML1, done-t)
+	}
 	tag := TagCTEHit
 	if !cteHit {
 		tag = TagSerial
@@ -527,6 +555,9 @@ func (m *MC) accessTwoLevel(now config.Time, st *pageState, ppn uint64, blockOff
 	switch {
 	case cteHit:
 		done = m.dramOp(now, m.dataAddr(st, blockOff), write)
+		if m.ab != nil {
+			m.ab.Add(attr.CDataML1, done-now)
+		}
 	case m.cfg.Kind == TMCC && embedded != nil:
 		// Speculative parallel access (Section V-A3): fetch the data at
 		// the embedded CTE's location and the authoritative CTE at once.
@@ -539,6 +570,13 @@ func (m *MC) accessTwoLevel(now config.Time, st *pageState, ppn uint64, blockOff
 		specAddr := uint64(embedded.DRAMPage)*config.PageSize + uint64(blockOff*config.BlockSize)
 		dataDone := m.dramOp(now, specAddr, write)
 		done = maxTime(cteDone, dataDone)
+		if m.ab != nil {
+			// Both fetches at full duration, with the time they spent in
+			// flight together credited back — the paper's Fig. 4 overlap.
+			m.ab.Add(attr.CDataML1, dataDone-now)
+			m.ab.Add(attr.CCTEParallel, cteDone-now)
+			m.ab.Add(attr.COverlap, (dataDone-now)+(cteDone-now)-(done-now))
+		}
 		if embedded.DRAMPage == truth.DRAMPage && !embedded.InML2 {
 			tag = TagParallelOK
 			m.Stats.ParallelOK++
@@ -548,7 +586,11 @@ func (m *MC) accessTwoLevel(now config.Time, st *pageState, ppn uint64, blockOff
 			tag = TagParallelWrong
 			m.Stats.ParallelWrong++
 			m.ob.specVerifyFail.Inc()
+			redoFrom := done
 			done = m.dramOp(done, m.dataAddr(st, blockOff), write)
+			if m.ab != nil {
+				m.ab.Add(attr.CVerifyRedo, done-redoFrom)
+			}
 		}
 	default:
 		// Serial: wait for the CTE from DRAM, then fetch the data.
@@ -558,6 +600,10 @@ func (m *MC) accessTwoLevel(now config.Time, st *pageState, ppn uint64, blockOff
 		m.ob.tr.Emit(obs.CatCTEFetch, "cte.serial", obs.TIDMC, now, t)
 		m.cte.Fill(ppn)
 		done = m.dramOp(t, m.dataAddr(st, blockOff), write)
+		if m.ab != nil {
+			m.ab.Add(attr.CCTESerial, t-now)
+			m.ab.Add(attr.CDataML1, done-t)
+		}
 		tag = TagSerial
 		m.Stats.SerialNoEmbed++
 		m.ob.serialNoEmbed.Inc()
@@ -580,6 +626,9 @@ func (m *MC) serveML2(now config.Time, st *pageState, ppn uint64, blockOff int, 
 		m.ob.tr.Emit(obs.CatCTEFetch, "cte.serial", obs.TIDMC, now, t)
 		m.cte.Fill(ppn)
 	}
+	if m.ab != nil {
+		m.ab.Add(attr.CCTESerial, t-now)
+	}
 	// Wait for a free migration-buffer entry (eight 4KB staging slots).
 	slot := 0
 	for i, busy := range m.migBuf {
@@ -587,8 +636,12 @@ func (m *MC) serveML2(now config.Time, st *pageState, ppn uint64, blockOff int, 
 			slot = i
 		}
 	}
+	preStall := t
 	if m.migBuf[slot] > t {
 		t = m.migBuf[slot]
+	}
+	if m.ab != nil && t > preStall {
+		m.ab.Add(attr.CMigStall, t-preStall)
 	}
 
 	size, _ := m.cfg.Sizes.PageSizes(ppn)
@@ -612,6 +665,12 @@ func (m *MC) serveML2(now config.Time, st *pageState, ppn uint64, blockOff int, 
 	respond := maxTime(t, last) + m.cfg.ML2HalfPage
 	m.ob.tr.Emit(obs.CatML2, "decompress", obs.TIDMC, now, respond)
 	m.ob.ml2DecompressPS.Observe(int64(respond - now))
+	if m.ab != nil {
+		// cteSerial + migStall + dataML2 + decompress == respond - now:
+		// the ML2 critical path, with the background migration excluded.
+		m.ab.Add(attr.CDataML2, maxTime(t, last)-t)
+		m.ab.Add(attr.CDecompress, m.cfg.ML2HalfPage)
+	}
 
 	// Background migration to ML1.
 	chunk, ok := m.ml1.Pop()

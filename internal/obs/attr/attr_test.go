@@ -1,0 +1,247 @@
+package attr_test
+
+import (
+	"bytes"
+	"encoding/csv"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"tmcc/internal/check"
+	"tmcc/internal/obs/attr"
+)
+
+// demandAccess builds a TMCC-shaped speculative access: data and CTE
+// fetched in parallel, their overlap credited back, conservation exact.
+func demandAccess() attr.Access {
+	var a attr.Access
+	a.Class = attr.ClassDemand
+	a.Add(attr.CWalk, 100)
+	a.Add(attr.CDataML1, 50)
+	a.Add(attr.CCTEParallel, 40)
+	a.Add(attr.COverlap, 40) // CTE fully hidden behind the data fetch
+	a.Add(attr.CNoC, 10)
+	a.Total = 100 + 50 + 10 // walk + exposed data + noc
+	return a
+}
+
+func TestAccessAttributedSum(t *testing.T) {
+	a := demandAccess()
+	if got := a.AttributedSum(); got != a.Total {
+		t.Fatalf("AttributedSum = %d, want %d", got, a.Total)
+	}
+	a.Reset()
+	if a.AttributedSum() != 0 || a.Total != 0 {
+		t.Fatal("Reset left residue")
+	}
+}
+
+func TestComponentAndClassNames(t *testing.T) {
+	seen := map[string]bool{}
+	for c := attr.Component(0); c < attr.NumComponents; c++ {
+		n := c.String()
+		if n == "" || strings.Contains(n, "component(") {
+			t.Fatalf("component %d has no name", c)
+		}
+		if seen[n] {
+			t.Fatalf("duplicate component name %q", n)
+		}
+		seen[n] = true
+	}
+	for c := attr.Class(0); c < attr.NumClasses; c++ {
+		if strings.Contains(c.String(), "class(") {
+			t.Fatalf("class %d has no name", c)
+		}
+	}
+	// Header = 5 fixed columns + one per component, in Component order.
+	if len(attr.CSVHeader) != 5+int(attr.NumComponents) {
+		t.Fatalf("CSVHeader has %d columns, want %d", len(attr.CSVHeader), 5+int(attr.NumComponents))
+	}
+	for c := attr.Component(0); c < attr.NumComponents; c++ {
+		want := c.String() + "PS"
+		if got := attr.CSVHeader[5+int(c)]; got != want {
+			t.Errorf("CSVHeader[%d] = %q, want %q", 5+int(c), got, want)
+		}
+	}
+}
+
+func TestRecorderSnapshotDeterministic(t *testing.T) {
+	rec := attr.NewRecorder()
+	a := demandAccess()
+	rec.Group("canneal", "tmcc").Record(&a)
+	rec.Group("canneal", "compresso").Record(&a)
+	rec.Group("mcf", "tmcc").Record(&a)
+
+	s := rec.Snapshot()
+	if len(s.Groups) != 3 {
+		t.Fatalf("got %d groups, want 3", len(s.Groups))
+	}
+	order := []string{"canneal/compresso", "canneal/tmcc", "mcf/tmcc"}
+	for i, g := range s.Groups {
+		if got := g.Benchmark + "/" + g.Kind; got != order[i] {
+			t.Errorf("group %d = %s, want %s", i, got, order[i])
+		}
+	}
+	if err := s.Conserved(); err != nil {
+		t.Fatal(err)
+	}
+	n, ps := s.Totals()
+	if n != 3 || ps != 3*int64(a.Total) {
+		t.Fatalf("Totals = %d, %d; want 3, %d", n, ps, 3*int64(a.Total))
+	}
+}
+
+func TestConservedDetectsViolation(t *testing.T) {
+	rec := attr.NewRecorder()
+	var a attr.Access
+	a.Class = attr.ClassDemand
+	a.Add(attr.CDataML1, 50)
+	a.Total = 60 // 10 ps unaccounted
+	if check.Enabled {
+		// Under tmccdebug the per-access audit fires first, inside Record.
+		defer func() {
+			p := recover()
+			if p == nil {
+				t.Fatal("tmccdebug Record accepted an unconserved access")
+			}
+			if !strings.Contains(fmt.Sprint(p), "check: ") {
+				t.Fatalf("panic lacks the check prefix: %v", p)
+			}
+		}()
+	}
+	rec.Group("b", "k").Record(&a)
+	err := rec.Snapshot().Conserved()
+	if err == nil {
+		t.Fatal("Conserved missed a 10 ps leak")
+	}
+	if !strings.Contains(err.Error(), "off by") {
+		t.Fatalf("error lacks the off-by amount: %v", err)
+	}
+}
+
+func TestNilRecorderAndGroupAreInert(t *testing.T) {
+	var rec *attr.Recorder
+	g := rec.Group("b", "k")
+	if g != nil {
+		t.Fatal("nil recorder handed out a non-nil group")
+	}
+	a := demandAccess()
+	g.Record(&a) // must not panic
+	s := rec.Snapshot()
+	if len(s.Groups) != 0 {
+		t.Fatal("nil recorder produced groups")
+	}
+	if err := s.Conserved(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteCSVRoundTrips(t *testing.T) {
+	rec := attr.NewRecorder()
+	a := demandAccess()
+	rec.Group("canneal", "tmcc").Record(&a)
+	rec.Group("canneal", "tmcc").Record(&a)
+	var wb attr.Access
+	wb.Class = attr.ClassWriteback
+	wb.Add(attr.CDataML1, 77)
+	wb.Total = 77
+	rec.Group("canneal", "tmcc").Record(&wb)
+
+	var buf bytes.Buffer
+	if err := rec.Snapshot().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 { // header + demand + writeback
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	// Every data row must conserve: sum(cols 6..) - 2*overlapCredit == totalPS.
+	overlapCol := 0
+	for i, h := range rows[0] {
+		if h == "overlapCreditPS" {
+			overlapCol = i
+		}
+	}
+	if overlapCol == 0 {
+		t.Fatal("no overlapCreditPS column")
+	}
+	for _, row := range rows[1:] {
+		total, _ := strconv.ParseInt(row[4], 10, 64)
+		var sum int64
+		for i := 5; i < len(row); i++ {
+			v, err := strconv.ParseInt(row[i], 10, 64)
+			if err != nil {
+				t.Fatalf("bad cell %q: %v", row[i], err)
+			}
+			if i == overlapCol {
+				sum -= v
+			} else {
+				sum += v
+			}
+		}
+		if sum != total {
+			t.Errorf("row %v: components sum to %d, total %d", row[:3], sum, total)
+		}
+	}
+	// The demand row carries the overlap credit.
+	if rows[1][2] != "demand" || rows[1][overlapCol] != "80" {
+		t.Errorf("demand row overlap = %q, want 80", rows[1][overlapCol])
+	}
+}
+
+func TestWriteTableRendersSections(t *testing.T) {
+	rec := attr.NewRecorder()
+	a := demandAccess()
+	rec.Group("canneal", "tmcc").Record(&a)
+	var buf bytes.Buffer
+	if err := rec.Snapshot().WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"[demand] mean ns/access", "overlapCredit", "canneal", "tmcc"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "[writeback]") {
+		t.Error("empty writeback class rendered a section")
+	}
+}
+
+// TestGroupRecordConcurrent drives Record and Snapshot concurrently; run
+// under -race this pins the lock-free aggregation, and the final sums
+// must be exact regardless of interleaving.
+func TestGroupRecordConcurrent(t *testing.T) {
+	rec := attr.NewRecorder()
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g := rec.Group("canneal", "tmcc")
+			for i := 0; i < per; i++ {
+				a := demandAccess()
+				g.Record(&a)
+				if i%100 == 0 {
+					rec.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	s := rec.Snapshot()
+	if err := s.Conserved(); err != nil {
+		t.Fatal(err)
+	}
+	n, ps := s.Totals()
+	one := demandAccess()
+	if n != workers*per || ps != int64(workers*per)*int64(one.Total) {
+		t.Fatalf("Totals = %d, %d; want %d, %d", n, ps, workers*per, workers*per*int(one.Total))
+	}
+}

@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+
+	"tmcc/internal/obs/attr"
+)
+
+// WriteCollapsed writes an attribution snapshot in the collapsed-stack
+// format FlameGraph and speedscope consume: one line per stack,
+// semicolon-separated frames and a trailing sample weight —
+//
+//	benchmark;kind;class;component <picoseconds>
+//
+// so the rendered flame graph's widths are simulated time, not wall
+// time. To keep stack widths conserved (class frames exactly as wide as
+// the measured latency), the speculative CTE fetch is emitted at its
+// *exposed* duration (full duration minus the overlap credit) instead of
+// as the {cteParallel, overlapCredit} pair — a flame graph cannot render
+// a negative frame. Zero-weight frames are skipped. Output order follows
+// the snapshot's deterministic group/class/component order.
+func WriteCollapsed(w io.Writer, s attr.Snapshot) error {
+	for _, g := range s.Groups {
+		for _, cs := range g.Classes {
+			for c := attr.Component(0); c < attr.NumComponents; c++ {
+				v := cs.CompPS[c]
+				switch c {
+				case attr.COverlap:
+					continue
+				case attr.CCTEParallel:
+					v -= cs.CompPS[attr.COverlap]
+				}
+				if v == 0 {
+					continue
+				}
+				if _, err := fmt.Fprintf(w, "%s;%s;%s;%s %d\n",
+					g.Benchmark, g.Kind, cs.Class, c, v); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

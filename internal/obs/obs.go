@@ -27,7 +27,10 @@
 // bump them inline. Snapshots are deterministic: samples sort by path.
 package obs
 
-import "tmcc/internal/config"
+import (
+	"tmcc/internal/config"
+	"tmcc/internal/obs/attr"
+)
 
 // Span categories (the "cat" field of emitted trace events). Keep these in
 // sync with the taxonomy table in DESIGN.md's Observability section.
@@ -43,19 +46,20 @@ const (
 // core-side spans use the core id (0..cores-1), which stays far below it.
 const TIDMC = 255
 
-// Observer bundles the registry and tracer one process (or one test)
-// observes with. A nil *Observer is fully inert; so is an Observer with
-// nil fields, which lets callers enable metrics without tracing and vice
-// versa.
+// Observer bundles the registry, tracer, and latency-attribution
+// recorder one process (or one test) observes with. A nil *Observer is
+// fully inert; so is an Observer with nil fields, which lets callers
+// enable metrics without tracing or attribution and vice versa.
 type Observer struct {
 	Reg *Registry
 	Tr  *Tracer
+	At  *attr.Recorder
 }
 
-// New returns an Observer with a fresh registry and a default-capacity
-// tracer.
+// New returns an Observer with a fresh registry, a default-capacity
+// tracer, and an attribution recorder.
 func New() *Observer {
-	return &Observer{Reg: NewRegistry(), Tr: NewTracer(0)}
+	return &Observer{Reg: NewRegistry(), Tr: NewTracer(0), At: attr.NewRecorder()}
 }
 
 // Counter registers (or finds) the counter at path; nil-safe.
@@ -89,4 +93,23 @@ func (o *Observer) Span(cat, name string, tid int, start, end config.Time) {
 		return
 	}
 	o.Tr.Emit(cat, name, tid, start, end)
+}
+
+// AttrGroup returns the latency-attribution group for one (benchmark,
+// MC kind) pair; nil (and therefore inert) when attribution is off.
+func (o *Observer) AttrGroup(bench, kind string) *attr.Group {
+	if o == nil {
+		return nil
+	}
+	return o.At.Group(bench, kind)
+}
+
+// SyncDerived refreshes registry values derived from the other sinks —
+// today the obs.trace.dropped gauge mirroring the tracer's overwrite
+// count. Call it before taking a snapshot that should carry them.
+func (o *Observer) SyncDerived() {
+	if o == nil || o.Reg == nil || o.Tr == nil {
+		return
+	}
+	o.Reg.Gauge("obs.trace.dropped").Set(int64(o.Tr.Dropped()))
 }

@@ -208,6 +208,49 @@ type Sample struct {
 	Counts []uint64 `json:"counts,omitempty"`
 }
 
+// Quantile estimates the q-quantile (q in [0, 1], clamped) of a
+// histogram sample by linear interpolation inside the bucket holding the
+// target rank. The first bucket interpolates from 0 (or from its bound
+// when that is negative); the overflow bucket has no upper edge, so any
+// rank landing there reports the last finite bound — a floor, clearly
+// labeled by being exactly the largest boundary. Non-histogram samples
+// and empty histograms report 0.
+func (s Sample) Quantile(q float64) float64 {
+	if s.Kind != "histogram" || s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(s.Count)
+	var cum uint64
+	for i, n := range s.Counts {
+		if n == 0 {
+			continue
+		}
+		if float64(cum+n) < target {
+			cum += n
+			continue
+		}
+		if i >= len(s.Bounds) {
+			return float64(s.Bounds[len(s.Bounds)-1])
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = float64(s.Bounds[i-1])
+		} else if s.Bounds[0] < 0 {
+			lo = float64(s.Bounds[0])
+		}
+		hi := float64(s.Bounds[i])
+		frac := (target - float64(cum)) / float64(n)
+		return lo + (hi-lo)*frac
+	}
+	return float64(s.Bounds[len(s.Bounds)-1])
+}
+
 // Snapshot is a point-in-time copy of every registered instrument, sorted
 // by path — a stable, deterministic structure suitable for diffing.
 type Snapshot struct {

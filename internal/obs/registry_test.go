@@ -2,6 +2,8 @@ package obs
 
 import (
 	"bytes"
+	"math/rand"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -123,6 +125,178 @@ func TestSnapshotJSONRoundTrip(t *testing.T) {
 	}
 	if h, _ := got.Get("h"); h.Count != 1 || h.Sum != 2 || len(h.Counts) != 3 {
 		t.Errorf("histogram sample %+v", h)
+	}
+}
+
+// TestHistogramObserveBoundaryProperty is the bucket-boundary property
+// test: for randomized ascending bounds and randomized observations,
+// every value must land in the bucket whose inclusive upper bound is the
+// first one >= the value, with everything past the last bound in the
+// overflow bucket — checked against a straightforward reference
+// implementation.
+func TestHistogramObserveBoundaryProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		nb := 1 + rng.Intn(6)
+		set := map[int64]bool{}
+		for len(set) < nb {
+			set[int64(rng.Intn(2000)-500)] = true
+		}
+		bounds := make([]int64, 0, nb)
+		for b := range set {
+			bounds = append(bounds, b)
+		}
+		sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+
+		r := NewRegistry()
+		h := r.Histogram("p", bounds)
+		want := make([]uint64, nb+1)
+		var wantSum int64
+		n := 1 + rng.Intn(200)
+		for i := 0; i < n; i++ {
+			v := int64(rng.Intn(3000) - 1000)
+			// Half the time, hit a boundary exactly: the bound itself
+			// (inclusive) or one past it (next bucket).
+			if rng.Intn(2) == 0 {
+				v = bounds[rng.Intn(nb)] + int64(rng.Intn(2))
+			}
+			h.Observe(v)
+			wantSum += v
+			ref := nb // overflow unless a bound catches it
+			for bi, b := range bounds {
+				if v <= b {
+					ref = bi
+					break
+				}
+			}
+			want[ref]++
+		}
+		s, _ := r.Snapshot().Get("p")
+		if s.Count != uint64(n) || s.Sum != wantSum {
+			t.Fatalf("trial %d: count/sum = %d/%d, want %d/%d", trial, s.Count, s.Sum, n, wantSum)
+		}
+		for i := range want {
+			if s.Counts[i] != want[i] {
+				t.Fatalf("trial %d bounds %v: bucket %d = %d, want %d",
+					trial, bounds, i, s.Counts[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSampleQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q", []int64{100, 200, 400})
+	// 100 observations in [0,100], 100 in (100,200], none in (200,400].
+	for i := 0; i < 100; i++ {
+		h.Observe(50)
+		h.Observe(150)
+	}
+	s, _ := r.Snapshot().Get("q")
+	if got := s.Quantile(0.5); got != 100 {
+		t.Errorf("p50 = %v, want 100 (bucket edge)", got)
+	}
+	if got := s.Quantile(0.25); got != 50 {
+		t.Errorf("p25 = %v, want 50 (middle of first bucket)", got)
+	}
+	if got := s.Quantile(0.75); got != 150 {
+		t.Errorf("p75 = %v, want 150", got)
+	}
+	if got := s.Quantile(1); got != 200 {
+		t.Errorf("p100 = %v, want 200", got)
+	}
+	if got := s.Quantile(-1); got != s.Quantile(0) {
+		t.Errorf("q<0 not clamped: %v vs %v", got, s.Quantile(0))
+	}
+
+	// Overflow bucket reports the last finite bound as a floor.
+	h2 := r.Histogram("q2", []int64{10})
+	h2.Observe(5000)
+	s2, _ := r.Snapshot().Get("q2")
+	if got := s2.Quantile(0.99); got != 10 {
+		t.Errorf("overflow quantile = %v, want 10", got)
+	}
+
+	// Guards: empty histogram, counter sample.
+	r.Histogram("empty", []int64{1})
+	se, _ := r.Snapshot().Get("empty")
+	if got := se.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", got)
+	}
+	r.Counter("c").Inc()
+	sc, _ := r.Snapshot().Get("c")
+	if got := sc.Quantile(0.5); got != 0 {
+		t.Errorf("counter quantile = %v, want 0", got)
+	}
+}
+
+// TestQuantileMonotonicProperty: for randomized histograms, Quantile must
+// be monotonically non-decreasing in q and bounded by the bucket edges.
+func TestQuantileMonotonicProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		r := NewRegistry()
+		bounds := []int64{0}
+		for len(bounds) < 5 {
+			bounds = append(bounds, bounds[len(bounds)-1]+1+int64(rng.Intn(300)))
+		}
+		h := r.Histogram("m", bounds)
+		for i := 0; i < 1+rng.Intn(500); i++ {
+			h.Observe(int64(rng.Intn(2500) - 100))
+		}
+		s, _ := r.Snapshot().Get("m")
+		prev := -1e18
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := s.Quantile(q)
+			if v < prev {
+				t.Fatalf("trial %d: Quantile(%v) = %v < Quantile(prev) = %v", trial, q, v, prev)
+			}
+			if v > float64(bounds[len(bounds)-1]) {
+				t.Fatalf("trial %d: Quantile(%v) = %v above last bound", trial, q, v)
+			}
+			prev = v
+		}
+	}
+}
+
+// TestConcurrentObserveSnapshotRaceFree interleaves Observe with
+// Snapshot/Quantile readers; under -race (CI runs the package that way)
+// this pins that observation and snapshotting never race.
+func TestConcurrentObserveSnapshotRaceFree(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []int64{10, 100, 1000})
+	var writers sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		writers.Add(1)
+		go func(seed int64) {
+			defer writers.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for j := 0; j < 5000; j++ {
+				h.Observe(int64(rng.Intn(2000)))
+			}
+		}(int64(i))
+	}
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s, ok := r.Snapshot().Get("lat")
+			if ok {
+				_ = s.Quantile(0.95)
+			}
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	<-readerDone
+	if n := h.Count(); n != 4*5000 {
+		t.Fatalf("count = %d, want %d", n, 4*5000)
 	}
 }
 

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"tmcc/internal/obs/attr"
+)
+
+// WatchSnapshot is the unit tmccsim -watchfile emits periodically and
+// tmcctop -watch re-renders: one self-contained frame carrying the
+// metrics registry and the attribution breakdown. Seq increments per
+// emission so the reader can tell a fresh frame from a re-read;
+// UnixNanos is wall-clock metadata stamped by the cmd layer (internal/
+// never reads a wall clock — the field is zero unless a cmd fills it).
+type WatchSnapshot struct {
+	Seq       uint64        `json:"seq"`
+	UnixNanos int64         `json:"unixNanos,omitempty"`
+	Metrics   Snapshot      `json:"metrics"`
+	Attr      attr.Snapshot `json:"attr"`
+}
+
+// Watch assembles a watch frame from the observer's current state,
+// syncing derived gauges first; nil-safe (returns an empty frame).
+func (o *Observer) Watch(seq uint64, unixNanos int64) WatchSnapshot {
+	ws := WatchSnapshot{Seq: seq, UnixNanos: unixNanos}
+	if o == nil {
+		return ws
+	}
+	o.SyncDerived()
+	ws.Metrics = o.Reg.Snapshot()
+	ws.Attr = o.At.Snapshot()
+	return ws
+}
+
+// WriteJSON writes the frame as indented JSON to the injected sink.
+func (ws WatchSnapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ws)
+}
+
+// ReadWatchSnapshot parses a frame previously written with WriteJSON.
+func ReadWatchSnapshot(r io.Reader) (WatchSnapshot, error) {
+	var ws WatchSnapshot
+	if err := json.NewDecoder(r).Decode(&ws); err != nil {
+		return WatchSnapshot{}, fmt.Errorf("obs: decoding watch snapshot: %v", err)
+	}
+	return ws, nil
+}

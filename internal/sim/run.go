@@ -7,6 +7,7 @@ import (
 	"tmcc/internal/ctecache"
 	"tmcc/internal/mc"
 	"tmcc/internal/obs"
+	"tmcc/internal/obs/attr"
 	"tmcc/internal/workload"
 )
 
@@ -121,6 +122,9 @@ func (r *Runner) step(c *core) {
 		}
 		r.sob.tr.Emit(obs.CatWalk, name, c.id, wStart, t)
 		c.tlb.Insert(vpn)
+		if r.attrOn() {
+			r.attrWalk = t - wStart
+		}
 	}
 
 	var ppn uint64
@@ -131,7 +135,9 @@ func (r *Runner) step(c *core) {
 		ppn, ok = r.as.Table.Lookup(vpn)
 	}
 	if !ok {
-		// Unmapped (should not happen): skip.
+		// Unmapped (should not happen): skip. Drop any pending walk time
+		// so it cannot leak into the next access's breakdown.
+		r.attrWalk = 0
 		c.time = t
 		return
 	}
@@ -188,6 +194,7 @@ func (r *Runner) memAccess(c *core, t config.Time, block uint64, write, isPTB, w
 				c.l1.OrFlags(block, cache.FlagDirty)
 				c.l2.OrFlags(block, cache.FlagDirty)
 			}
+			r.attrCacheHit(isPTB, l1Lat)
 			return t + l1Lat
 		}
 	}
@@ -200,6 +207,7 @@ func (r *Runner) memAccess(c *core, t config.Time, block uint64, write, isPTB, w
 			c.l2.OrFlags(block, cache.FlagDirty)
 		}
 		r.fillL1(c, block, write, isPTB)
+		r.attrCacheHit(isPTB, l2Lat)
 		return t + l2Lat
 	}
 	if r.l3.Access(block) {
@@ -207,6 +215,7 @@ func (r *Runner) memAccess(c *core, t config.Time, block uint64, write, isPTB, w
 		f, _ := r.l3.Invalidate(block)
 		r.insertL2(c, block, f, write, isPTB, t)
 		r.fillL1(c, block, write, isPTB)
+		r.attrCacheHit(isPTB, l3Lat)
 		return t + l3Lat
 	}
 
@@ -226,6 +235,14 @@ func (r *Runner) memAccess(c *core, t config.Time, block uint64, write, isPTB, w
 	}
 	res := r.mcc.Access(t, ppn, off, false, embedded, walkRelated)
 	done := res.Done + r.noc
+	if r.attrOn() {
+		// Copy the MC's scratch before the piggyback/insert/prefetch work
+		// below issues nested accesses that would overwrite it.
+		a := *r.mcc.Attr()
+		a.Add(attr.CNoC, r.noc)
+		a.Total = done - t
+		r.finishAttr(&a, isPTB)
+	}
 	if r.recording {
 		r.m.L3MissLatencySum += done - t
 		r.sob.missLatNS.Observe(int64((done - t) / config.Nanosecond))
@@ -265,6 +282,41 @@ func (r *Runner) memAccess(c *core, t config.Time, block uint64, write, isPTB, w
 	r.fillL1(c, block, write, isPTB)
 	r.prefetch(c, t, block)
 	return done
+}
+
+// attrOn reports whether latency attribution is live: a sink exists and
+// the run is inside the measured window (warmup accesses are not
+// attributed, mirroring the Metrics recording gate).
+func (r *Runner) attrOn() bool { return r.ag != nil && r.recording }
+
+// attrCacheHit records a cache-served access: the whole latency is the
+// hit service time, plus the pending walk for demand accesses.
+func (r *Runner) attrCacheHit(isPTB bool, lat config.Time) {
+	if !r.attrOn() {
+		return
+	}
+	var a attr.Access
+	a.Add(attr.CCacheHit, lat)
+	a.Total = lat
+	r.finishAttr(&a, isPTB)
+}
+
+// finishAttr classifies and records one access breakdown. Demand
+// accesses absorb the page-walk time their step banked (so the demand
+// class's mean total is the true end-to-end access latency); the walk's
+// own PTB fetches are also recorded under the ptb class, which therefore
+// overlaps demand by construction — classes are reported side by side,
+// never summed.
+func (r *Runner) finishAttr(a *attr.Access, isPTB bool) {
+	if isPTB {
+		a.Class = attr.ClassPTB
+	} else {
+		a.Class = attr.ClassDemand
+		a.Add(attr.CWalk, r.attrWalk)
+		a.Total += r.attrWalk
+		r.attrWalk = 0
+	}
+	r.ag.Record(a)
 }
 
 // fillL1 caches the block in L1 for demand accesses.
@@ -309,7 +361,13 @@ func (r *Runner) writeback(block uint64, now config.Time) {
 		r.m.Writebacks++
 		r.sob.writeback.Inc()
 	}
-	r.mcc.Access(now, block/config.BlocksPage, int(block%config.BlocksPage), true, nil, false)
+	res := r.mcc.Access(now, block/config.BlocksPage, int(block%config.BlocksPage), true, nil, false)
+	if r.attrOn() {
+		a := *r.mcc.Attr()
+		a.Class = attr.ClassWriteback
+		a.Total = res.Done - now
+		r.ag.Record(&a)
+	}
 }
 
 // prefetch runs the L2 next-line and stride prefetchers on a demand miss.
@@ -328,7 +386,13 @@ func (r *Runner) prefetch(c *core, now config.Time, block uint64) {
 			continue
 		}
 		c.throttle.Issued()
-		r.mcc.Access(now, nb/64, int(nb%64), false, nil, false)
+		res := r.mcc.Access(now, nb/64, int(nb%64), false, nil, false)
+		if r.attrOn() {
+			a := *r.mcc.Attr()
+			a.Class = attr.ClassPrefetch
+			a.Total = res.Done - now
+			r.ag.Record(&a)
+		}
 		r.insertL2(c, nb, flagPrefetched, false, false, now)
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"tmcc/internal/ctecache"
 	"tmcc/internal/mc"
 	"tmcc/internal/obs"
+	"tmcc/internal/obs/attr"
 	"tmcc/internal/pagetable"
 	"tmcc/internal/ptbcomp"
 	"tmcc/internal/tlb"
@@ -171,6 +172,13 @@ type Runner struct {
 	m         Metrics
 	recording bool
 	sob       simObs
+
+	// ag is the latency-attribution sink for this run's (benchmark,
+	// kind); nil when attribution is off. attrWalk carries the most
+	// recent page-walk duration from step to the demand access that
+	// triggered it, so the walk lands inside that access's breakdown.
+	ag       *attr.Group
+	attrWalk config.Time
 }
 
 // simObs holds the runner's registered instrument handles. The counters
@@ -210,4 +218,5 @@ func (r *Runner) observe(o *obs.Observer) {
 	for _, c := range r.cores {
 		c.buf.Observe(hit, miss)
 	}
+	r.ag = o.AttrGroup(r.opt.Benchmark, r.opt.Kind.String())
 }
