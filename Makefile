@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint test race debug fuzz-smoke fmt bench engine-smoke obs-smoke breakdown-smoke
+.PHONY: all build lint test race debug fuzz-smoke fmt bench engine-smoke obs-smoke breakdown-smoke chaos-smoke
 
 all: lint test
 
@@ -31,6 +31,7 @@ debug:
 fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz FuzzBlockCompRoundTrip -fuzztime 10s ./internal/blockcomp/
 	$(GO) test -run=^$$ -fuzz FuzzMemDeflateRoundTrip -fuzztime 10s ./internal/memdeflate/
+	$(GO) test -run=^$$ -fuzz FuzzEntryRoundTrip -fuzztime 10s ./internal/cte/
 
 fmt:
 	gofmt -w .
@@ -82,7 +83,7 @@ breakdown-smoke:
 		-breakdown-csv /tmp/tmcc_breakdown.csv -flame /tmp/tmcc.flame \
 		> /tmp/tmccsim_bd.csv
 	diff -u /tmp/tmccsim_nobd.csv /tmp/tmccsim_bd.csv
-	awk -F, 'NR>1 { s=0; for (i=6; i<=17; i++) s+=$$i; s-=2*$$11; \
+	awk -F, 'NR>1 { s=0; for (i=6; i<=18; i++) s+=$$i; s-=2*$$11; \
 		if (s != $$5) { print "unconserved row: " $$0; exit 1 } }' /tmp/tmcc_breakdown.csv
 	awk -F, '$$2=="compresso" && $$3=="demand" { found=1; \
 		if ($$9+0 <= 0) { print "compresso demand row has no serialized CTE time"; exit 1 } } \
@@ -93,3 +94,34 @@ breakdown-smoke:
 	test -s /tmp/tmcc.flame
 	/tmp/tmccsim -exp fig5 -quick -format csv -breakdown > /dev/null
 	@echo "breakdown-smoke: attribution conserves and leaves plain output untouched"
+
+# chaos-smoke proves the fault-injection contract end to end on a binary
+# with the tmccdebug invariants and the race detector armed:
+#   1. faults off is byte-identical to the plain build's output;
+#   2. a seeded all-faults chaos run completes panic-free and two runs with
+#      the same plan+seed produce identical scorecards AND fault counters;
+#   3. a too-small budget exits nonzero with the capacity diagnosis
+#      instead of crashing.
+CHAOS_PLAN = cte=0.05,stale=0.02,payload=0.02,spike=0.01:250ns,busy=0.01:100ns:3
+chaos-smoke:
+	$(GO) build -o /tmp/tmccsim ./cmd/tmccsim
+	$(GO) build -race -tags tmccdebug -o /tmp/tmccsim_chaos ./cmd/tmccsim
+	/tmp/tmccsim -run canneal -kind tmcc -quick > /tmp/tmcc_plain.out
+	/tmp/tmccsim_chaos -run canneal -kind tmcc -quick > /tmp/tmcc_off.out
+	diff -u /tmp/tmcc_plain.out /tmp/tmcc_off.out
+	$(GO) build -tags tmccdebug -o /tmp/tmccsim_dbg ./cmd/tmccsim
+	/tmp/tmccsim -all -quick -format csv > /tmp/tmcc_all_plain.csv
+	/tmp/tmccsim_dbg -all -quick -format csv > /tmp/tmcc_all_dbg.csv
+	diff -u /tmp/tmcc_all_plain.csv /tmp/tmcc_all_dbg.csv
+	/tmp/tmccsim_chaos -run canneal -kind tmcc -quick \
+		-faults '$(CHAOS_PLAN)' -chaos-seed 7 > /tmp/tmcc_chaos1.out 2> /tmp/tmcc_chaos1.err
+	/tmp/tmccsim_chaos -run canneal -kind tmcc -quick \
+		-faults '$(CHAOS_PLAN)' -chaos-seed 7 > /tmp/tmcc_chaos2.out 2> /tmp/tmcc_chaos2.err
+	diff -u /tmp/tmcc_chaos1.out /tmp/tmcc_chaos2.out
+	diff -u /tmp/tmcc_chaos1.err /tmp/tmcc_chaos2.err
+	grep -q '^faults: ' /tmp/tmcc_chaos1.err
+	if /tmp/tmccsim_chaos -run canneal -kind tmcc -budget 400 -quick \
+		> /dev/null 2> /tmp/tmcc_capacity.err; then \
+		echo "chaos-smoke: tiny budget did not fail"; exit 1; fi
+	grep -q 'capacity exhausted' /tmp/tmcc_capacity.err
+	@echo "chaos-smoke: faults-off identical, chaos deterministic, exhaustion graceful"

@@ -75,5 +75,9 @@ func run(bench string, kind mc.Kind, n, warm int) sim.Metrics {
 	if err != nil {
 		panic(fmt.Sprintf("simcal: %s/%s: %v", bench, kind, err))
 	}
-	return r.Run()
+	m, err := r.Run()
+	if err != nil {
+		panic(fmt.Sprintf("simcal: %s/%s: %v", bench, kind, err))
+	}
+	return m
 }

@@ -8,6 +8,8 @@
 //	tmccsim -exp fig17
 //	tmccsim -all [-quick] [-seed 42] [-j 4] [-stats]
 //	tmccsim -exp fig18 -metrics out.json -trace out.trace -pprof :6060
+//	tmccsim -run canneal -kind tmcc -budget 12000
+//	tmccsim -run canneal -kind tmcc -faults cte=0.05,payload=0.02 -chaos-seed 7
 //
 // All experiments run through the shared engine in internal/exp/engine:
 // -j bounds the simulation worker pool, and identical simulation points
@@ -18,6 +20,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -30,8 +33,11 @@ import (
 
 	"tmcc/internal/exp"
 	"tmcc/internal/exp/engine"
+	"tmcc/internal/fault"
+	"tmcc/internal/mc"
 	"tmcc/internal/obs"
 	"tmcc/internal/obs/attr"
+	"tmcc/internal/sim"
 )
 
 func main() {
@@ -53,6 +59,12 @@ func main() {
 		flame        = flag.String("flame", "", "write the attribution breakdown as a collapsed-stack file (FlameGraph/speedscope) at exit")
 		watchfile    = flag.String("watchfile", "", "periodically write a watch snapshot (JSON) here for tmcctop -watch")
 		watchEvery   = flag.Duration("watch-every", 2*time.Second, "watch snapshot emission period (with -watchfile)")
+
+		single    = flag.String("run", "", "run one benchmark instead of an experiment (with -kind/-budget)")
+		kindName  = flag.String("kind", "tmcc", "memory-controller design for -run: uncompressed | compresso | os-inspired | tmcc")
+		budget    = flag.Uint64("budget", 0, "DRAM budget in 4KB frames for -run (0 = Compresso's natural usage)")
+		faults    = flag.String("faults", "", "fault plan, e.g. cte=0.02,stale=0.01,payload=0.01,spike=0.005:250ns,busy=0.005:100ns:3")
+		chaosSeed = flag.Int64("chaos-seed", 1, "seed for the fault plan's deterministic injectors")
 	)
 	flag.Parse()
 
@@ -71,6 +83,18 @@ func main() {
 	eng := exp.Engine()
 	eng.SetWorkers(*jobs)
 	eng.SetClock(func() int64 { return time.Now().UnixNano() })
+	// A panicking run is retried once after a short real-world pause
+	// (internal/ never sleeps itself; the backoff is injected like the clock).
+	eng.SetRetryBackoff(func() { time.Sleep(250 * time.Millisecond) })
+	if *faults != "" {
+		plan, err := fault.ParsePlan(*faults)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		plan.Seed = *chaosSeed
+		eng.SetFaultPlan(plan)
+	}
 
 	// Observability: the registry/tracer are created and their output files
 	// opened here at the cmd layer (internal/ is sink-free; tmcclint
@@ -104,20 +128,30 @@ func main() {
 	}
 	start := time.Now()
 
+	failed := false
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, diagnose(err))
+		failed = true
+	}
 	switch {
 	case *list:
 		fmt.Println(strings.Join(exp.IDs(), "\n"))
+	case *single != "":
+		if err := runSingle(os.Stdout, eng, *single, *kindName, *budget, cfg); err != nil {
+			fail(err)
+		}
 	case *all:
+		// A failing experiment (capacity exhaustion, a crashed run) no
+		// longer aborts the sweep: the rest of the suite completes, every
+		// failure is diagnosed on stderr, and the exit code stays nonzero.
 		for _, eid := range exp.IDs() {
 			if err := run(os.Stdout, eid, cfg, *format); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				fail(err)
 			}
 		}
 	case *id != "":
 		if err := run(os.Stdout, *id, cfg, *format); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fail(err)
 		}
 	default:
 		flag.Usage()
@@ -131,6 +165,9 @@ func main() {
 	}
 	if *stats {
 		printStats(os.Stderr, eng.Stats(), *jobs, time.Since(start), ob)
+	}
+	if eng.FaultPlan().Enabled() {
+		fmt.Fprintf(os.Stderr, "faults: %v\n", eng.FaultCounters())
 	}
 	ob.SyncDerived()
 	if *metrics != "" {
@@ -173,6 +210,59 @@ func main() {
 			}
 		}
 	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// diagnose turns the one actionable failure class into a one-line
+// instruction: capacity exhaustion is a configuration problem (budget too
+// small for the working set), not a simulator bug.
+func diagnose(err error) string {
+	if errors.Is(err, mc.ErrCapacityExhausted) {
+		return "capacity exhausted: " + err.Error()
+	}
+	return err.Error()
+}
+
+// parseKind maps a -kind flag value onto a memory-controller design.
+func parseKind(name string) (mc.Kind, error) {
+	for _, k := range []mc.Kind{mc.Uncompressed, mc.Compresso, mc.OSInspired, mc.TMCC} {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown design %q (uncompressed | compresso | os-inspired | tmcc)", name)
+}
+
+// runSingle executes one (benchmark, design, budget) point through the
+// engine — so fault plans, memoization, and observability all apply — and
+// prints a compact scorecard. It is the chaos harness's entry point:
+// small enough to rerun twice and diff.
+func runSingle(w io.Writer, eng *engine.Engine, bench, kindName string, budget uint64, cfg exp.Config) error {
+	kind, err := parseKind(kindName)
+	if err != nil {
+		return err
+	}
+	warm, measure := 120000, 80000 // the full experiment windows (exp.Config.windows)
+	if cfg.Quick {
+		warm, measure = 30000, 20000
+	}
+	m, err := eng.Run(sim.Options{
+		Benchmark:       bench,
+		Kind:            kind,
+		BudgetPages:     budget,
+		WarmupAccesses:  warm,
+		MeasureAccesses: measure,
+		Seed:            cfg.Seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%s/%s: stores/cycle %.4f  ipc %.3f  avgL3missNS %.1f  ml2reads %d  parallelOK %d  parallelWrong %d  used %d\n",
+		bench, kind, m.StoresPerCycle(), m.IPC(), m.AvgL3MissLatencyNS(),
+		m.MC.ML2Reads, m.MC.ParallelOK, m.MC.ParallelWrong, m.Used)
+	return nil
 }
 
 // writeBreakdownCSV writes the attribution breakdown rows into path.
@@ -297,6 +387,10 @@ func run(w io.Writer, id string, cfg exp.Config, format string) error {
 func printStats(w io.Writer, st engine.Stats, workers int, wall time.Duration, ob *obs.Observer) {
 	fmt.Fprintf(w, "engine: %d workers, %d runs executed, %d cache hits (%d coalesced in flight)\n",
 		workers, st.Runs, st.Hits, st.Coalesced)
+	if st.Panics > 0 || st.Failed > 0 {
+		fmt.Fprintf(w, "engine: %d worker panics recovered (%d retried), %d runs failed\n",
+			st.Panics, st.Retries, st.Failed)
+	}
 	simTime := time.Duration(st.RunNanos)
 	mean := time.Duration(0)
 	if st.Runs > 0 {
@@ -316,10 +410,16 @@ func statsJSON(st engine.Stats, wall time.Duration, ob *obs.Observer) string {
 		Executed     uint64  `json:"executed"`
 		Deduplicated uint64  `json:"deduplicated"`
 		WallSeconds  float64 `json:"wallSeconds"`
+		Panics       uint64  `json:"panics,omitempty"`
+		Retries      uint64  `json:"retries,omitempty"`
+		Failed       uint64  `json:"failed,omitempty"`
 		DroppedSpans uint64  `json:"droppedSpans,omitempty"`
 		AttrAccesses uint64  `json:"attrAccesses,omitempty"`
 		AttrTotalPS  int64   `json:"attrTotalPS,omitempty"`
-	}{Executed: st.Runs, Deduplicated: st.Hits + st.Coalesced, WallSeconds: wall.Seconds()}
+	}{
+		Executed: st.Runs, Deduplicated: st.Hits + st.Coalesced, WallSeconds: wall.Seconds(),
+		Panics: st.Panics, Retries: st.Retries, Failed: st.Failed,
+	}
 	if ob != nil {
 		out.DroppedSpans = ob.Tr.Dropped()
 		out.AttrAccesses, out.AttrTotalPS = ob.At.Snapshot().Totals()

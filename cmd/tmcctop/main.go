@@ -162,26 +162,46 @@ func renderDiff(w io.Writer, old, cur obs.Snapshot) {
 
 // watchLoop re-renders the watch file every period until interrupted (or
 // for iters refreshes when positive — the tests and bounded CI use that).
-// A missing or torn file is retried on the next tick: tmccsim writes the
-// file atomically, but the watcher may start before the first frame.
+// A missing or torn frame is never fatal: before the first good frame the
+// loop reports that it is waiting; afterwards it re-renders the last good
+// frame marked stale and keeps polling — tmccsim writes atomically, but
+// the emitter can exit mid-run (or mid-write on a non-atomic filesystem)
+// and the watcher must outlive that.
 func watchLoop(w io.Writer, path string, every time.Duration, iters int) {
-	var lastSeq uint64
+	wa := watcher{path: path}
 	first := true
 	for n := 0; iters <= 0 || n < iters; n++ {
 		if !first {
 			time.Sleep(every)
 		}
 		first = false
-		ws, err := readWatchFile(path)
-		if err != nil {
-			fmt.Fprintf(w, "waiting for %s: %v\n", path, err)
-			continue
-		}
+		wa.tick(w)
+	}
+}
+
+// watcher carries the last good frame between ticks so a transient read
+// failure degrades to a stale display instead of a dead one.
+type watcher struct {
+	path      string
+	last      obs.WatchSnapshot
+	haveFrame bool
+}
+
+func (wa *watcher) tick(w io.Writer) {
+	ws, err := readWatchFile(wa.path)
+	switch {
+	case err == nil:
 		// Clear the terminal only when a frame rendered, so error lines
 		// above stay visible.
 		fmt.Fprint(w, "\033[H\033[2J")
-		renderWatch(w, ws, lastSeq)
-		lastSeq = ws.Seq
+		renderWatch(w, ws, wa.last.Seq)
+		wa.last, wa.haveFrame = ws, true
+	case wa.haveFrame:
+		fmt.Fprint(w, "\033[H\033[2J")
+		fmt.Fprintf(w, "watchfile unreadable (%v); showing last good frame\n", err)
+		renderWatch(w, wa.last, wa.last.Seq)
+	default:
+		fmt.Fprintf(w, "waiting for %s: %v\n", wa.path, err)
 	}
 }
 

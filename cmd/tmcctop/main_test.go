@@ -211,3 +211,73 @@ func TestValidateTraceRejectsBadInput(t *testing.T) {
 		}
 	}
 }
+
+// TestWatchLoopSurvivesTruncation pins the mid-write hazard: after a good
+// frame, a truncated (or deleted) watchfile must not kill the watcher — it
+// re-renders the last good frame with a diagnostic and keeps polling, and
+// recovers as soon as a whole frame lands again.
+func TestWatchLoopSurvivesTruncation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "live.json")
+	ob := obs.New()
+	a := attrAccess()
+	ob.AttrGroup("mcf", "tmcc").Record(&a)
+	writeFrame := func(seq uint64) {
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ob.Watch(seq, 0).WriteJSON(f); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+
+	wa := watcher{path: path}
+	var buf bytes.Buffer
+	writeFrame(1)
+	wa.tick(&buf)
+	if !strings.Contains(buf.String(), "frame 1") {
+		t.Fatalf("good frame did not render:\n%s", buf.String())
+	}
+
+	// Truncate mid-write: half a frame is unparseable JSON.
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, whole[:len(whole)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	wa.tick(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "showing last good frame") || !strings.Contains(out, "frame 1") {
+		t.Fatalf("torn frame did not fall back to the last good one:\n%s", out)
+	}
+
+	// Delete the file entirely: same degradation, still alive.
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	wa.tick(&buf)
+	if !strings.Contains(buf.String(), "showing last good frame") {
+		t.Fatalf("missing file after a good frame was fatal:\n%s", buf.String())
+	}
+
+	// A whole frame landing again recovers cleanly.
+	writeFrame(2)
+	buf.Reset()
+	wa.tick(&buf)
+	if !strings.Contains(buf.String(), "frame 2") {
+		t.Fatalf("watcher did not recover after the emitter came back:\n%s", buf.String())
+	}
+
+	// A fresh watcher with no good frame yet just waits.
+	cold := watcher{path: filepath.Join(t.TempDir(), "absent.json")}
+	buf.Reset()
+	cold.tick(&buf)
+	if !strings.Contains(buf.String(), "waiting for") {
+		t.Fatalf("fresh watcher on a missing file should wait, got:\n%s", buf.String())
+	}
+}

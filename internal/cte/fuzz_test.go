@@ -1,0 +1,48 @@
+package cte
+
+import "testing"
+
+// FuzzEntryRoundTrip fuzzes the 8-byte hardware layout: Pack/Unpack must
+// be mutually inverse over the representable field space, truncation must
+// agree with matching, and flipping any in-reach bit of the embedded
+// truncated CTE must be detected — that detection is what the
+// verify-in-parallel path and the fault injector's CTE corruption both
+// stand on.
+func FuzzEntryRoundTrip(f *testing.F) {
+	f.Add(uint32(0), false, false, uint32(0), uint(1), uint(0))
+	f.Add(uint32(0x3fffffff), true, true, uint32(0xffffffff), uint(20), uint(19))
+	f.Add(uint32(12345), true, false, uint32(0xa5a5a5a5), uint(30), uint(7))
+	f.Fuzz(func(t *testing.T, page uint32, inML2, incomp bool, pairs uint32, bits, flip uint) {
+		bits = bits%30 + 1 // layout holds 30 DRAM-page bits; 0 bits can't verify
+		e := Entry{
+			DRAMPage:         page & 0x3fffffff,
+			InML2:            inML2,
+			IsIncompressible: incomp,
+			PTBPairs:         pairs,
+		}
+		if got := Unpack(e.Pack()); got != e {
+			t.Fatalf("round trip lost fields: %+v -> %#x -> %+v", e, e.Pack(), got)
+		}
+		if Unpack(e.Pack()).Pack() != e.Pack() {
+			t.Fatalf("pack not stable over a round trip: %#x", e.Pack())
+		}
+
+		tr := e.Truncated(int(bits))
+		if tr >= uint32(1)<<bits {
+			t.Fatalf("Truncated(%d) = %#x exceeds its own width", bits, tr)
+		}
+		if !e.MatchesTruncated(tr, int(bits)) {
+			t.Fatalf("entry rejects its own truncation (bits %d, tr %#x)", bits, tr)
+		}
+		// Out-of-reach garbage above the truncation width must be masked.
+		if !e.MatchesTruncated(tr|0x8000_0000, int(bits)) && bits < 32 {
+			t.Fatalf("high garbage bits broke matching (bits %d)", bits)
+		}
+		// Any single in-reach bit flip must be detected.
+		corrupt := tr ^ (1 << (flip % bits))
+		if e.MatchesTruncated(corrupt, int(bits)) {
+			t.Fatalf("flipping bit %d of the embedded CTE went undetected (bits %d)",
+				flip%bits, bits)
+		}
+	})
+}

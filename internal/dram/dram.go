@@ -173,6 +173,18 @@ func (c *Controller) decode(addr uint64) (ch, rk, bk int, row int64) {
 	return
 }
 
+// ChannelOf reports the channel index (across all MCs) addr decodes to.
+// The fault-injection layer uses it to target transient-busy faults at a
+// specific channel; it is a pure function of the address and the
+// interleaving configuration.
+func (c *Controller) ChannelOf(addr uint64) int {
+	ch, _, _, _ := c.decode(addr)
+	return ch
+}
+
+// Channels reports the total channel count (MCs * channels per MC).
+func (c *Controller) Channels() int { return len(c.chans) }
+
 // Read issues a 64B read at time now and returns its completion time at the
 // MC (NoC to the LLC is accounted by the caller).
 func (c *Controller) Read(now config.Time, addr uint64) config.Time {

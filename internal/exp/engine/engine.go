@@ -18,10 +18,14 @@
 package engine
 
 import (
+	"errors"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"tmcc/internal/config"
+	"tmcc/internal/fault"
 	"tmcc/internal/obs"
 	"tmcc/internal/sim"
 )
@@ -54,6 +58,24 @@ type Stats struct {
 	Hits      uint64 // requests served from a completed memo entry
 	Coalesced uint64 // duplicate requests that waited on an in-flight run
 	RunNanos  int64  // wall time summed over executed runs (0 without a clock)
+	Panics    uint64 // worker panics recovered into PanicErrors
+	Retries   uint64 // panicked runs retried (once per panicking key)
+	Failed    uint64 // runs that ended with an error (after any retry)
+}
+
+// PanicError is a worker panic recovered into a typed per-run error: the
+// canonicalized options key identifies which simulation blew up, and the
+// captured stack preserves the forensics a crashing process would have
+// printed. It fails only its own key — the rest of the suite completes.
+type PanicError struct {
+	Key   Key
+	Value any
+	Stack []byte
+}
+
+func (p *PanicError) Error() string {
+	return fmt.Sprintf("engine: run %s/%s panicked: %v",
+		p.Key.Opt.Benchmark, p.Key.Opt.Kind, p.Value)
 }
 
 // Run describes one executed simulation, delivered to the progress hook.
@@ -80,10 +102,17 @@ type Engine struct {
 	now  func() int64 // nanosecond wall clock, injected by the CLI
 	prog func(Run)
 	exec func(sim.Options) (sim.Metrics, error) // swapped by unit tests
+	// sleep is the retry backoff between a recovered panic and its single
+	// re-run; nil (the default) retries immediately. cmd/tmccsim injects a
+	// real wait, unit tests a recorder — internal/ must not call time.Sleep
+	// directly on the hot path.
+	sleep func()
+	plan  fault.Plan // per-run fault plan; zero value = healthy runs
 
-	mu    sync.Mutex
-	memo  map[Key]*call
-	stats Stats
+	mu     sync.Mutex
+	memo   map[Key]*call
+	stats  Stats
+	faults fault.Counters
 
 	ob  *obs.Observer // threaded into every runner; nil = unobserved
 	eob engineObs
@@ -97,6 +126,9 @@ type engineObs struct {
 	runs        *obs.Counter
 	memoHits    *obs.Counter
 	coalesced   *obs.Counter
+	panics      *obs.Counter
+	retries     *obs.Counter
+	failed      *obs.Counter
 	queueWaitMS *obs.Histogram
 	runMS       *obs.Histogram
 }
@@ -120,6 +152,9 @@ func (e *Engine) SetObserver(o *obs.Observer) {
 		runs:        o.Counter("engine.runs"),
 		memoHits:    o.Counter("engine.memo.hits"),
 		coalesced:   o.Counter("engine.memo.coalesced"),
+		panics:      o.Counter("engine.panics"),
+		retries:     o.Counter("engine.retries"),
+		failed:      o.Counter("engine.failed"),
 		queueWaitMS: o.Histogram("engine.queueWaitMS", engineDurBoundsMS),
 		runMS:       o.Histogram("engine.runMS", engineDurBoundsMS),
 	}
@@ -131,17 +166,44 @@ func New(workers int) *Engine {
 	e := &Engine{
 		memo: map[Key]*call{},
 	}
-	e.exec = func(opt sim.Options) (sim.Metrics, error) { return execute(opt, e.ob) }
+	e.exec = e.executeRun
 	e.SetWorkers(workers)
 	return e
 }
 
-func execute(opt sim.Options, ob *obs.Observer) (sim.Metrics, error) {
-	r, err := sim.NewRunnerObserved(opt, ob)
+// executeRun is the default exec: build a runner — with the engine's
+// observer and, when a fault plan is armed, a per-run injector seeded from
+// the canonicalized run identity — and run it. Fault counters accumulate
+// under e.mu; they are commutative sums, so the totals are independent of
+// worker count and scheduling.
+func (e *Engine) executeRun(opt sim.Options) (sim.Metrics, error) {
+	var inj *fault.Injector
+	if e.plan.Enabled() {
+		inj = fault.NewInjector(e.plan, fault.RunSalt(fmt.Sprintf("%+v", KeyOf(opt))))
+	}
+	r, err := sim.NewRunnerInjected(opt, e.ob, inj)
 	if err != nil {
 		return sim.Metrics{}, err
 	}
-	return r.Run(), nil
+	m, err := r.Run()
+	if inj != nil {
+		e.mu.Lock()
+		e.faults.Add(inj.Counters())
+		e.mu.Unlock()
+	}
+	return m, err
+}
+
+// safeExec shields the worker pool from a panicking run: the panic is
+// recovered into a *PanicError carrying the run's key and stack instead of
+// unwinding through the scheduler and killing every in-flight simulation.
+func (e *Engine) safeExec(opt sim.Options) (m sim.Metrics, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Key: KeyOf(opt), Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return e.exec(opt)
 }
 
 // SetWorkers resizes the worker pool; n <= 0 selects runtime.GOMAXPROCS(0).
@@ -169,6 +231,29 @@ func (e *Engine) Stats() Stats {
 	defer e.mu.Unlock()
 	return e.stats
 }
+
+// SetFaultPlan arms a fault plan: every subsequent non-memoized run gets
+// its own deterministic injector, seeded from the plan seed and the run's
+// canonical key, so a fixed (plan, job list) pair reproduces the same
+// faults regardless of worker count. The plan is deliberately NOT part of
+// the memo key — chaos runs and healthy runs must not share a process.
+// Must be called while no jobs are in flight.
+func (e *Engine) SetFaultPlan(p fault.Plan) { e.plan = p }
+
+// FaultPlan returns the armed plan (zero value when healthy).
+func (e *Engine) FaultPlan() fault.Plan { return e.plan }
+
+// FaultCounters returns the faults fired across all executed runs.
+func (e *Engine) FaultCounters() fault.Counters {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.faults
+}
+
+// SetRetryBackoff installs the wait between a recovered panic and its
+// retry; nil retries immediately. Must be called while no jobs are in
+// flight.
+func (e *Engine) SetRetryBackoff(fn func()) { e.sleep = fn }
 
 // Run executes (or recalls) one simulation. Identical Options — after Key
 // canonicalization — simulate exactly once per process: later callers get
@@ -207,7 +292,35 @@ func (e *Engine) Run(opt sim.Options) (sim.Metrics, error) {
 		start = e.now()
 		e.eob.queueWaitMS.Observe((start - qstart) / 1e6)
 	}
-	c.m, c.err = e.exec(opt)
+	c.m, c.err = e.safeExec(opt)
+	var pe *PanicError
+	if errors.As(c.err, &pe) {
+		// A panic fails only this key. Count it, back off, and retry once:
+		// transient faults (injected or environmental) often clear, and a
+		// second identical panic is strong evidence the run itself is bad.
+		e.mu.Lock()
+		e.stats.Panics++
+		e.stats.Retries++
+		e.mu.Unlock()
+		e.eob.panics.Inc()
+		e.eob.retries.Inc()
+		if e.sleep != nil {
+			e.sleep()
+		}
+		c.m, c.err = e.safeExec(opt)
+		if errors.As(c.err, &pe) {
+			e.mu.Lock()
+			e.stats.Panics++
+			e.mu.Unlock()
+			e.eob.panics.Inc()
+		}
+	}
+	if c.err != nil {
+		e.mu.Lock()
+		e.stats.Failed++
+		e.mu.Unlock()
+		e.eob.failed.Inc()
+	}
 	if e.now != nil {
 		c.nanos = e.now() - start
 		e.eob.runMS.Observe(c.nanos / 1e6)

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"tmcc/internal/config"
+	"tmcc/internal/fault"
 	"tmcc/internal/mc"
 	"tmcc/internal/sim"
 )
@@ -220,5 +221,85 @@ func TestMapPreservesSlotOrder(t *testing.T) {
 		if v != i*i {
 			t.Fatalf("slot %d = %d", i, v)
 		}
+	}
+}
+
+func TestPanicRecoveredRetriedAndTyped(t *testing.T) {
+	var calls, backoffs int64
+	e := New(2)
+	e.exec = func(opt sim.Options) (sim.Metrics, error) {
+		atomic.AddInt64(&calls, 1)
+		panic("engine_test: induced crash")
+	}
+	e.SetRetryBackoff(func() { atomic.AddInt64(&backoffs, 1) })
+	bad := sim.Options{Benchmark: "crasher", Kind: mc.TMCC, Seed: 9}
+	_, err := e.Run(bad)
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %v is not a *PanicError", err)
+	}
+	if pe.Key != KeyOf(bad) {
+		t.Errorf("PanicError carries key %+v, want the run's own key", pe.Key)
+	}
+	if pe.Value != "engine_test: induced crash" || len(pe.Stack) == 0 {
+		t.Errorf("PanicError lost the panic value or stack: %+v", pe)
+	}
+	if calls != 2 {
+		t.Errorf("persistent panic executed %d times, want exactly 2 (one retry)", calls)
+	}
+	if backoffs != 1 {
+		t.Errorf("backoff ran %d times, want 1 (between panic and retry)", backoffs)
+	}
+	if st := e.Stats(); st.Panics != 2 || st.Retries != 1 || st.Failed != 1 {
+		t.Errorf("stats = %+v, want Panics:2 Retries:1 Failed:1", st)
+	}
+	// The crash fails only its own key: the suite around it completes.
+	e.exec = countingExec(&calls)
+	if _, err := e.Run(sim.Options{Benchmark: "fine"}); err != nil {
+		t.Errorf("healthy run after a crash failed: %v", err)
+	}
+}
+
+func TestTransientPanicRecoversOnRetry(t *testing.T) {
+	var calls int64
+	e := New(1)
+	e.exec = func(opt sim.Options) (sim.Metrics, error) {
+		if atomic.AddInt64(&calls, 1) == 1 {
+			panic("engine_test: transient")
+		}
+		return sim.Metrics{Stores: 7}, nil
+	}
+	m, err := e.Run(sim.Options{Benchmark: "flaky"})
+	if err != nil {
+		t.Fatalf("transient panic not healed by retry: %v", err)
+	}
+	if m.Stores != 7 || calls != 2 {
+		t.Errorf("retry result %+v after %d calls, want Stores:7 in 2 calls", m, calls)
+	}
+	if st := e.Stats(); st.Panics != 1 || st.Retries != 1 || st.Failed != 0 {
+		t.Errorf("stats = %+v, want Panics:1 Retries:1 Failed:0", st)
+	}
+}
+
+func TestFaultPlanCountersAccumulateDeterministically(t *testing.T) {
+	plan := fault.Plan{Seed: 17, CTECorrupt: 0.05, Payload: 0.02}
+	jobs := []sim.Options{
+		{Benchmark: "canneal", Kind: mc.TMCC, WarmupAccesses: 3000, MeasureAccesses: 3000, Seed: 7},
+		{Benchmark: "canneal", Kind: mc.Compresso, WarmupAccesses: 3000, MeasureAccesses: 3000, Seed: 7},
+	}
+	total := func(workers int) fault.Counters {
+		e := New(workers)
+		e.SetFaultPlan(plan)
+		if _, err := e.RunAll(jobs); err != nil {
+			t.Fatal(err)
+		}
+		return e.FaultCounters()
+	}
+	serial, wide := total(1), total(4)
+	if serial != wide {
+		t.Errorf("fault totals depend on worker count:\n1 worker:  %v\n4 workers: %v", serial, wide)
+	}
+	if serial.Total() == 0 {
+		t.Error("armed plan fired no faults across two runs")
 	}
 }

@@ -1,0 +1,169 @@
+package fault
+
+import (
+	"testing"
+
+	"tmcc/internal/config"
+)
+
+func TestParsePlanRoundTrip(t *testing.T) {
+	in := "cte=0.02,stale=0.01,payload=0.01,spike=0.005:250ns,busy=0.005:100ns:3"
+	p, err := ParsePlan(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CTECorrupt != 0.02 || p.CTEStale != 0.01 || p.Payload != 0.01 ||
+		p.Spike != 0.005 || p.Busy != 0.005 {
+		t.Fatalf("probabilities misparsed: %+v", p)
+	}
+	if p.SpikeLatency != 250*config.Nanosecond {
+		t.Errorf("spike latency = %d ps, want 250ns", p.SpikeLatency)
+	}
+	if p.BusyBackoff != 100*config.Nanosecond || p.BusyRetries != 3 {
+		t.Errorf("busy knobs = %d ps / %d retries", p.BusyBackoff, p.BusyRetries)
+	}
+	if p.BusyChannel != -1 {
+		t.Errorf("default busy channel = %d, want -1 (all)", p.BusyChannel)
+	}
+	// The canonical rendering re-parses to the same plan.
+	p2, err := ParsePlan(p.String())
+	if err != nil {
+		t.Fatalf("re-parsing %q: %v", p.String(), err)
+	}
+	p2.BusyChannel = p.BusyChannel
+	if p2 != p {
+		t.Fatalf("String round trip drifted:\n%+v\n%+v", p, p2)
+	}
+}
+
+func TestParsePlanDefaultsAndErrors(t *testing.T) {
+	p, err := ParsePlan("spike=0.5,busy=0.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.SpikeLatency != DefaultSpikeLatency || p.BusyBackoff != DefaultBusyBackoff || p.BusyRetries != DefaultBusyRetries {
+		t.Errorf("defaults not applied: %+v", p)
+	}
+	for _, bad := range []string{"cte=2", "cte=-0.1", "unknown=0.5", "cte=x", "spike=0.1:zzz", "busy=0.1:100ns:0"} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Errorf("ParsePlan(%q) accepted", bad)
+		}
+	}
+	empty, err := ParsePlan("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.Enabled() {
+		t.Error("empty plan reports Enabled")
+	}
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if tr, ok := in.PerturbCTE(7, 20); ok || tr != 7 {
+		t.Error("nil injector perturbed a CTE")
+	}
+	if in.Payload() {
+		t.Error("nil injector flipped a payload")
+	}
+	if _, ok := in.Spike(); ok {
+		t.Error("nil injector spiked")
+	}
+	if in.Busy(0) {
+		t.Error("nil injector reported busy")
+	}
+	in.NoteQuarantine()
+	in.NoteRetry()
+	in.NoteTimeout()
+	if c := in.Counters(); c != (Counters{}) {
+		t.Errorf("nil injector counted: %+v", c)
+	}
+	if NewInjector(Plan{}, 1) != nil {
+		t.Error("disabled plan built a live injector")
+	}
+}
+
+// drawAll exercises every hook n times and returns the tallies.
+func drawAll(in *Injector, n int) Counters {
+	for i := 0; i < n; i++ {
+		in.PerturbCTE(uint32(i), 20)
+		in.Payload()
+		in.Spike()
+		in.Busy(i % 2)
+	}
+	return in.Counters()
+}
+
+func TestInjectorDeterministicPerSalt(t *testing.T) {
+	p, err := ParsePlan("cte=0.1,stale=0.05,payload=0.1,spike=0.1,busy=0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Seed = 7
+	salt := RunSalt("canneal", "tmcc", "42")
+	a := drawAll(NewInjector(p, salt), 4000)
+	b := drawAll(NewInjector(p, salt), 4000)
+	if a != b {
+		t.Fatalf("same (plan, salt) diverged:\n%+v\n%+v", a, b)
+	}
+	if a.Total() == 0 {
+		t.Fatal("armed plan injected nothing over 4000 draws")
+	}
+	if a.CTECorrupt == 0 || a.CTEStale == 0 || a.Payload == 0 || a.Spikes == 0 || a.Busy == 0 {
+		t.Errorf("some armed class never fired: %+v", a)
+	}
+	other := drawAll(NewInjector(p, RunSalt("canneal", "compresso", "42")), 4000)
+	if a == other {
+		t.Error("distinct run identities drew identical schedules")
+	}
+}
+
+func TestPerturbCTEAlwaysMismatches(t *testing.T) {
+	p := Plan{Seed: 3, CTECorrupt: 0.5, CTEStale: 0.5}
+	in := NewInjector(p, 9)
+	fired := 0
+	for i := 0; i < 2000; i++ {
+		tr := uint32(i) & 0xfffff
+		got, ok := in.PerturbCTE(tr, 20)
+		if !ok {
+			continue
+		}
+		fired++
+		if got == tr {
+			t.Fatalf("perturbed CTE equals original %#x", tr)
+		}
+		if got > 0xfffff {
+			t.Fatalf("perturbed CTE %#x exceeds %d bits", got, 20)
+		}
+	}
+	if fired == 0 {
+		t.Fatal("perturbation never fired")
+	}
+}
+
+func TestBusyChannelFilter(t *testing.T) {
+	p := Plan{Seed: 1, Busy: 1, BusyChannel: 2, BusyBackoff: DefaultBusyBackoff, BusyRetries: 1}
+	in := NewInjector(p, 1)
+	if in.Busy(0) || in.Busy(1) {
+		t.Error("busy fired on a filtered channel")
+	}
+	if !in.Busy(2) {
+		t.Error("busy did not fire on the targeted channel")
+	}
+}
+
+func TestCountersAddCommutes(t *testing.T) {
+	a := Counters{CTECorrupt: 1, Payload: 2, Spikes: 3, Retries: 4}
+	b := Counters{CTEStale: 5, Quarantines: 6, Busy: 7, Timeouts: 8}
+	var x, y Counters
+	x.Add(a)
+	x.Add(b)
+	y.Add(b)
+	y.Add(a)
+	if x != y {
+		t.Fatalf("Add is not commutative: %+v vs %+v", x, y)
+	}
+	if x.Total() != a.Total()+b.Total() {
+		t.Errorf("Total = %d", x.Total())
+	}
+}

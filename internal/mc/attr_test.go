@@ -31,7 +31,7 @@ func checkConserved(t *testing.T, m *MC, now config.Time, res Result, label stri
 }
 
 func TestAttrUncompressedConserves(t *testing.T) {
-	m := New(Config{
+	m := mustNew(t, Config{
 		Kind: Uncompressed, Sys: config.Default(),
 		BudgetPages: 1024, OSPages: 1024, Obs: obs.New(),
 	})
@@ -49,7 +49,7 @@ func TestAttrUncompressedConserves(t *testing.T) {
 }
 
 func TestAttrCompressoSerialConserves(t *testing.T) {
-	m := New(Config{
+	m := mustNew(t, Config{
 		Kind: Compresso, Sys: config.Default(),
 		BudgetPages: 4096, OSPages: 16384, Sizes: sizesFor(t, "pageRank"),
 		Seed: 1, Obs: obs.New(),
@@ -74,7 +74,7 @@ func TestAttrCompressoSerialConserves(t *testing.T) {
 
 func newTwoLevelObserved(t testing.TB, kind Kind) *MC {
 	t.Helper()
-	return New(Config{
+	return mustNew(t, Config{
 		Kind:        kind,
 		Sys:         config.Default(),
 		BudgetPages: 4096,
@@ -167,11 +167,11 @@ func TestAttrML2DemandConserves(t *testing.T) {
 // observer without an attr.Recorder (or no observer at all) leaves the
 // scratch nil, so the hot path pays only the nil checks.
 func TestAttrScratchDisabledWithoutRecorder(t *testing.T) {
-	plain := New(Config{Kind: Uncompressed, Sys: config.Default(), BudgetPages: 64, OSPages: 64})
+	plain := mustNew(t, Config{Kind: Uncompressed, Sys: config.Default(), BudgetPages: 64, OSPages: 64})
 	if plain.Attr() != nil {
 		t.Error("unobserved MC allocated an attribution scratch")
 	}
-	metricsOnly := New(Config{
+	metricsOnly := mustNew(t, Config{
 		Kind: Uncompressed, Sys: config.Default(), BudgetPages: 64, OSPages: 64,
 		Obs: &obs.Observer{Reg: obs.NewRegistry()},
 	})

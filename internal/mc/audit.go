@@ -20,10 +20,16 @@ func (m *MC) audit() error {
 	if m.ml1Size < 0 {
 		return fmt.Errorf("ml1Size=%d negative", m.ml1Size)
 	}
-	total := uint64(m.ml1Size) + uint64(held) + uint64(free)
+	over := m.pressure.overflowUsed
+	if over < 0 || over > m.ml1Size {
+		return fmt.Errorf("overflowUsed=%d outside [0, ml1Size=%d]", over, m.ml1Size)
+	}
+	// Pages resident on overflow frames are outside the pool, so they do
+	// not participate in pool-chunk conservation.
+	total := uint64(m.ml1Size-over) + uint64(held) + uint64(free)
 	if total != m.chunkPool {
-		return fmt.Errorf("chunk leak: ml1=%d + ml2-held=%d + free=%d = %d, pool=%d",
-			m.ml1Size, held, free, total, m.chunkPool)
+		return fmt.Errorf("chunk leak: ml1=%d (minus %d overflow) + ml2-held=%d + free=%d = %d, pool=%d",
+			m.ml1Size, over, held, free, total, m.chunkPool)
 	}
 	if m.ml2.UsedBytes < 0 {
 		return fmt.Errorf("ml2 UsedBytes=%d negative", m.ml2.UsedBytes)
@@ -45,6 +51,7 @@ func (m *MC) AuditPages() error {
 	}
 	ml1Resident := 0
 	inML2 := 0
+	overflowResident := 0
 	for ppn := range m.pages {
 		st := &m.pages[ppn]
 		if !st.placed {
@@ -77,13 +84,27 @@ func (m *MC) AuditPages() error {
 				return fmt.Errorf("ppn %#x: CTE frame %d != resident chunk %d",
 					ppn, e.DRAMPage, st.chunk)
 			}
-			if uint64(st.chunk) >= m.chunkPool {
-				return fmt.Errorf("ppn %#x: chunk %d beyond pool %d", ppn, st.chunk, m.chunkPool)
+			switch {
+			case uint64(st.chunk) >= m.cfg.BudgetPages:
+				// Overflow frame: legal under pressure, bounded by the cap.
+				overflowResident++
+				if st.chunk >= uint32(m.cfg.BudgetPages)+m.pressure.overflowCap {
+					return fmt.Errorf("ppn %#x: overflow chunk %d beyond cap %d",
+						ppn, st.chunk, uint64(m.cfg.BudgetPages)+uint64(m.pressure.overflowCap))
+				}
+			case uint64(st.chunk) >= m.chunkPool:
+				// Between the pool and the budget lies the CTE table.
+				return fmt.Errorf("ppn %#x: chunk %d aliases the CTE table [%d, %d)",
+					ppn, st.chunk, m.chunkPool, m.cfg.BudgetPages)
 			}
 		}
 	}
 	if ml1Resident != m.ml1Size {
 		return fmt.Errorf("ml1Size=%d but %d pages are ML1-resident", m.ml1Size, ml1Resident)
+	}
+	if overflowResident != m.pressure.overflowUsed {
+		return fmt.Errorf("overflowUsed=%d but %d pages sit on overflow frames",
+			m.pressure.overflowUsed, overflowResident)
 	}
 	if err := m.ml2.Audit(); err != nil {
 		return fmt.Errorf("ml2: %w", err)

@@ -21,6 +21,7 @@
 package mc
 
 import (
+	"fmt"
 	"math/rand"
 
 	"tmcc/internal/cache"
@@ -29,6 +30,7 @@ import (
 	"tmcc/internal/cte"
 	"tmcc/internal/ctecache"
 	"tmcc/internal/dram"
+	"tmcc/internal/fault"
 	"tmcc/internal/freelist"
 	"tmcc/internal/obs"
 	"tmcc/internal/obs/attr"
@@ -82,6 +84,11 @@ type Config struct {
 	// counters survive ResetStats and aggregate across MC instances
 	// sharing a registry. Pure write-only sink: must not affect timing.
 	Obs *obs.Observer
+	// Inject, when non-nil, arms fault injection on the MC's ML2 payload
+	// and DRAM request paths (the embedded-CTE faults live in the
+	// simulator, which owns the PTB path). nil keeps every site on its
+	// no-fault branch, byte-identical to an un-instrumented build.
+	Inject *fault.Injector
 }
 
 // AccessTag classifies how an ML1 read was served (Figure 19).
@@ -127,6 +134,7 @@ type Stats struct {
 type pageState struct {
 	chunk          uint32 // ML1 frame when !inML2
 	sub            freelist.SubChunk
+	sum            uint32 // payload checksum while compressed in ML2
 	inML2          bool
 	incompressible bool
 	placed         bool
@@ -149,6 +157,12 @@ type MC struct {
 
 	chunkPool    uint64 // frames available for data
 	cteTableBase uint64
+
+	// inj is the armed fault injector (nil in healthy runs); pressure and
+	// capErr belong to the graceful-degradation ladder (pressure.go).
+	inj      *fault.Injector
+	pressure pressureState
+	capErr   *CapacityError
 
 	// Migration staging buffer (Section VI): busy-until times of the eight
 	// 4KB entries; a demand ML2 read stalls while all are busy.
@@ -188,6 +202,20 @@ type mcObs struct {
 	incompressSkips   *obs.Counter
 	ml2DecompressPS   *obs.Histogram // demand ML2 latency, now -> respond, ps
 	ml1Pages, ml1Free *obs.Gauge
+
+	// pressure.* — degradation-ladder activity (two-level kinds only).
+	pressureEmergency *obs.Counter // force-migrations on a critical path
+	pressureStallPS   *obs.Counter // picoseconds demand work waited on them
+	pressureExhausted *obs.Counter // ladder exhausted (ErrCapacityExhausted)
+	pressureOverflow  *obs.Gauge   // overflow frames currently in use
+
+	// fault.* — injected-fault recoveries (registered only when armed).
+	faultPayload    *obs.Counter
+	faultQuarantine *obs.Counter
+	faultSpike      *obs.Counter
+	faultBusy       *obs.Counter
+	faultRetry      *obs.Counter
+	faultTimeout    *obs.Counter
 }
 
 // observe registers the controller's instruments under "mc.<kind>.". The
@@ -216,6 +244,20 @@ func (m *MC) observe(o *obs.Observer) {
 		ml2DecompressPS: o.Histogram(p+"ml2.decompressPS", ml2LatencyBoundsPS),
 		ml1Pages:        o.Gauge(p + "ml1.pages"),
 		ml1Free:         o.Gauge(p + "ml1.freeChunks"),
+	}
+	if m.ml1 != nil {
+		m.ob.pressureEmergency = o.Counter(p + "pressure.emergencyMigrations")
+		m.ob.pressureStallPS = o.Counter(p + "pressure.stallPS")
+		m.ob.pressureExhausted = o.Counter(p + "pressure.exhausted")
+		m.ob.pressureOverflow = o.Gauge(p + "pressure.overflowPages")
+	}
+	if m.inj != nil {
+		m.ob.faultPayload = o.Counter(p + "fault.payloadCorrupt")
+		m.ob.faultQuarantine = o.Counter(p + "fault.quarantines")
+		m.ob.faultSpike = o.Counter(p + "fault.dramSpikes")
+		m.ob.faultBusy = o.Counter(p + "fault.dramBusy")
+		m.ob.faultRetry = o.Counter(p + "fault.dramRetries")
+		m.ob.faultTimeout = o.Counter(p + "fault.dramTimeouts")
 	}
 	if m.cte != nil {
 		m.cte.Observe(o.Counter(p+"ctecache.hit"), o.Counter(p+"ctecache.miss"))
@@ -250,12 +292,14 @@ func (m *MC) updateGauges() {
 }
 
 // New builds a controller. For compressed designs the caller then Places
-// every mapped page (hot first) before simulation.
-func New(cfg Config) *MC {
+// every mapped page (hot first) before simulation. It fails when the
+// budget cannot even hold the design's metadata (CTE table).
+func New(cfg Config) (*MC, error) {
 	m := &MC{
 		cfg:  cfg,
 		dram: dram.New(cfg.Sys.DRAM),
 		rng:  rand.New(rand.NewSource(cfg.Seed + 1000)),
+		inj:  cfg.Inject,
 	}
 	switch cfg.Kind {
 	case Uncompressed:
@@ -266,14 +310,22 @@ func New(cfg Config) *MC {
 			cteCfg = *cfg.CTEOverride
 		}
 		m.cte = ctecache.New(cteCfg)
-		m.reserveCTETable(64)
+		if err := m.reserveCTETable(64); err != nil {
+			return nil, err
+		}
 	case OSInspired, TMCC:
 		cteCfg := cfg.Sys.Comp.CTE
 		if cfg.CTEOverride != nil {
 			cteCfg = *cfg.CTEOverride
 		}
 		m.cte = ctecache.New(cteCfg)
-		m.reserveCTETable(8)
+		if err := m.reserveCTETable(8); err != nil {
+			return nil, err
+		}
+		// Overflow region: a sliver of extra frames (1/64 of the budget,
+		// at least 16) the degradation ladder may spill into before
+		// declaring exhaustion.
+		m.pressure.overflowCap = uint32(maxInt(16, int(cfg.BudgetPages/64))) //tmcclint:allow magic-literal (1/64-of-budget overflow policy, not address math)
 		chunks := make([]uint32, m.chunkPool)
 		for i := range chunks {
 			chunks[i] = uint32(m.chunkPool - 1 - uint64(i)) // pop low frames first
@@ -308,18 +360,23 @@ func New(cfg Config) *MC {
 		m.pages = make([]pageState, cfg.OSPages)
 	}
 	m.observe(cfg.Obs)
-	return m
+	return m, nil
 }
 
 // reserveCTETable carves the linear CTE table (bytesPerPage per OS page)
-// out of the budget.
-func (m *MC) reserveCTETable(bytesPerPage uint64) {
+// out of the budget; a budget too small for its own metadata is a
+// configuration error, reported so tmccsim can print a usable message
+// instead of a stack trace.
+func (m *MC) reserveCTETable(bytesPerPage uint64) error {
 	tablePages := (m.cfg.OSPages*bytesPerPage + config.PageSize - 1) / config.PageSize
 	if tablePages >= m.cfg.BudgetPages {
-		panic("mc: budget smaller than CTE table")
+		return fmt.Errorf(
+			"mc: budget of %d pages cannot hold the %s CTE table (%d pages for %d OS pages at %dB/page); need a budget of at least %d pages",
+			m.cfg.BudgetPages, m.cfg.Kind, tablePages, m.cfg.OSPages, bytesPerPage, tablePages+1)
 	}
 	m.chunkPool = m.cfg.BudgetPages - tablePages
 	m.cteTableBase = m.chunkPool * config.PageSize
+	return nil
 }
 
 // ChunkPool reports the DRAM frames available for data after metadata
@@ -385,6 +442,7 @@ func (m *MC) Place(ppn uint64, toML2 bool) bool {
 		if sub, ok := m.ml2.Alloc(size); ok && size < config.PageSize {
 			st.inML2 = true
 			st.sub = sub
+			st.sum = pageChecksum(ppn, size)
 			if check.Enabled {
 				check.Invariant("mc: chunk-conservation after ML2 place", m.audit)
 			}
@@ -394,9 +452,11 @@ func (m *MC) Place(ppn uint64, toML2 bool) bool {
 			st.incompressible = true
 		}
 	}
-	c, ok := m.ml1.Pop()
+	c, _, ok := m.popFrame(0)
 	if !ok {
-		panic("mc: ML1 exhausted during placement; budget too small")
+		st.placed = false
+		m.failCapacity(ppn)
+		return false
 	}
 	st.chunk = c
 	m.ml1Size++
@@ -405,6 +465,42 @@ func (m *MC) Place(ppn uint64, toML2 bool) bool {
 		check.Invariant("mc: chunk-conservation after Place", m.audit)
 	}
 	return !toML2
+}
+
+// lazyPlace places a page first touched during simulation (hot: it goes
+// to ML1). Under capacity pressure the frame may only become available
+// once an emergency force-migration completes; that wait is charged to
+// the pressureStall attr component so degraded runs show it in their
+// latency breakdowns. Returns the (possibly stalled) current time.
+func (m *MC) lazyPlace(now config.Time, ppn uint64) config.Time {
+	st := &m.pages[ppn]
+	st.placed = true
+	switch m.cfg.Kind {
+	case Uncompressed, Compresso:
+		st.chunk = uint32(ppn % m.chunkPool)
+		m.ml1Size++
+		return now
+	}
+	c, ready, ok := m.popFrame(now)
+	if !ok {
+		st.placed = false
+		m.failCapacity(ppn)
+		return now
+	}
+	if ready > now {
+		if m.ab != nil {
+			m.ab.Add(attr.CPressureStall, ready-now)
+		}
+		m.ob.pressureStallPS.Add(uint64(ready - now))
+		now = ready
+	}
+	st.chunk = c
+	m.ml1Size++
+	m.rec.Touch(ppn)
+	if check.Enabled {
+		check.Invariant("mc: chunk-conservation after lazy place", m.audit)
+	}
+	return now
 }
 
 // TouchPage refreshes a page's recency (placement uses it to seed the
@@ -456,9 +552,7 @@ func (m *MC) Access(now config.Time, ppn uint64, blockOff int, write bool, embed
 	}
 	st := &m.pages[ppn]
 	if !st.placed {
-		// Lazily place pages first touched during simulation (e.g. table
-		// pages): they are hot, keep them in ML1.
-		m.Place(ppn, false)
+		now = m.lazyPlace(now, ppn)
 	}
 
 	if m.cfg.Kind == Uncompressed {
@@ -578,6 +672,14 @@ func (m *MC) accessTwoLevel(now config.Time, st *pageState, ppn uint64, blockOff
 			m.ab.Add(attr.COverlap, (dataDone-now)+(cteDone-now)-(done-now))
 		}
 		if embedded.DRAMPage == truth.DRAMPage && !embedded.InML2 {
+			if check.Enabled {
+				// Verified speculation must have fetched from the page's
+				// authoritative location — the "never return wrong data"
+				// contract the fault injector probes.
+				check.Assert(specAddr == m.dataAddr(st, blockOff),
+					"mc: verified speculation fetched %#x but page lives at %#x",
+					specAddr, m.dataAddr(st, blockOff))
+			}
 			tag = TagParallelOK
 			m.Stats.ParallelOK++
 			m.ob.specVerifyOK.Inc()
@@ -588,6 +690,13 @@ func (m *MC) accessTwoLevel(now config.Time, st *pageState, ppn uint64, blockOff
 			m.ob.specVerifyFail.Inc()
 			redoFrom := done
 			done = m.dramOp(done, m.dataAddr(st, blockOff), write)
+			if check.Enabled {
+				// Recovery re-fetches serially, after verification, from
+				// the authoritative frame.
+				check.Assert(done > redoFrom,
+					"mc: verify-redo did not re-fetch serially (done %d <= %d)",
+					done, redoFrom)
+			}
 			if m.ab != nil {
 				m.ab.Add(attr.CVerifyRedo, done-redoFrom)
 			}
@@ -663,28 +772,58 @@ func (m *MC) serveML2(now config.Time, st *pageState, ppn uint64, blockOff int, 
 	// The decompressor starts once the first blocks arrive and the
 	// requested 64B block is ready after the half-page latency on average.
 	respond := maxTime(t, last) + m.cfg.ML2HalfPage
+
+	if m.inj != nil && m.inj.Payload() {
+		// Fault: bits flipped in the stored compressed payload, so the
+		// page's stored checksum no longer matches what decompression
+		// produced.
+		st.sum ^= 1
+		m.ob.faultPayload.Inc()
+	}
+	quarantine := st.sum != pageChecksum(ppn, size)
+	if quarantine {
+		// Checksum mismatch after decompression: one bounded re-read and
+		// re-decompress (charged like a verify redo), then quarantine the
+		// page out of ML2 — it must live uncompressed from here on.
+		m.inj.NoteQuarantine()
+		m.ob.faultQuarantine.Inc()
+		respond += m.cfg.ML2HalfPage
+		if m.ab != nil {
+			m.ab.Add(attr.CVerifyRedo, m.cfg.ML2HalfPage)
+		}
+	}
 	m.ob.tr.Emit(obs.CatML2, "decompress", obs.TIDMC, now, respond)
 	m.ob.ml2DecompressPS.Observe(int64(respond - now))
 	if m.ab != nil {
-		// cteSerial + migStall + dataML2 + decompress == respond - now:
-		// the ML2 critical path, with the background migration excluded.
+		// cteSerial + migStall + dataML2 + decompress (+ the quarantine
+		// retry above) == respond - now: the ML2 critical path, with the
+		// background migration excluded.
 		m.ab.Add(attr.CDataML2, maxTime(t, last)-t)
 		m.ab.Add(attr.CDecompress, m.cfg.ML2HalfPage)
 	}
 
-	// Background migration to ML1.
+	// Background migration to ML1 (mandatory for a quarantined page).
 	chunk, ok := m.ml1.Pop()
 	if !ok {
-		m.evictOne(respond)
+		_, _ = m.evictOne(respond)
 		chunk, ok = m.ml1.Pop()
-		if !ok {
-			// No room: serve from ML2 without migrating.
-			return respond
+	}
+	if !ok {
+		if quarantine {
+			// No frame even after an eviction attempt: the scrubber
+			// rewrites the payload in place and the page stays in ML2
+			// with its checksum restored.
+			st.sum = pageChecksum(ppn, size)
 		}
+		// No room: serve from ML2 without migrating.
+		return respond
 	}
 	m.ml2.Free(st.sub, size)
 	st.inML2 = false
 	st.chunk = chunk
+	if quarantine {
+		st.incompressible = true
+	}
 	m.ml1Size++
 	m.rec.Touch(ppn)
 	m.Stats.ML2ToML1++
@@ -716,7 +855,7 @@ func (m *MC) Settle() {
 		return
 	}
 	for m.ml1.Len() < m.lowMark+64 {
-		if !m.evictOne(0) {
+		if _, ok := m.evictOne(0); !ok {
 			break
 		}
 	}
@@ -740,22 +879,31 @@ func (m *MC) maybeEvict(now config.Time) {
 		n = 4 // eviction outranks demand below the critical mark
 	}
 	for i := 0; i < n; i++ {
-		if !m.evictOne(now) {
+		if _, ok := m.evictOne(now); !ok {
 			return
 		}
 	}
 }
 
-// evictOne migrates the coldest ML1 page to ML2; returns false when no
-// eviction was possible.
-func (m *MC) evictOne(now config.Time) bool {
+// evictOne migrates the coldest ML1 page to ML2; ok=false when no
+// eviction was possible. The returned time is the migration's write-out
+// completion — background work normally, but the pressure ladder blocks
+// on it when force-migrating on a requester's critical path.
+func (m *MC) evictOne(now config.Time) (config.Time, bool) {
 	for {
 		ppn, ok := m.rec.EvictColdest()
 		if !ok {
-			return false
+			return now, false
 		}
 		st := &m.pages[ppn]
 		if st.inML2 || !st.placed {
+			continue
+		}
+		if st.incompressible {
+			// Quarantined after a payload fault (or re-candidated and then
+			// flagged): keep in ML1, off the Recency List.
+			m.Stats.IncompressSkips++
+			m.ob.incompressSkips.Inc()
 			continue
 		}
 		size, _ := m.cfg.Sizes.PageSizes(ppn)
@@ -769,7 +917,7 @@ func (m *MC) evictOne(now config.Time) bool {
 		}
 		sub, ok := m.ml2.Alloc(size)
 		if !ok {
-			return false
+			return now, false
 		}
 		// Read the page (64 blocks) and write the compressed sub-chunk,
 		// each holding at most MaxQueueSlots queue entries.
@@ -788,9 +936,14 @@ func (m *MC) evictOne(now config.Time) bool {
 			wlast = m.dram.Write(maxTime(t, wwin[i%slots]), a)
 			wwin[i%slots] = wlast
 		}
-		m.ml1.Push(st.chunk)
+		if uint64(st.chunk) >= m.cfg.BudgetPages {
+			m.overflowRelease(st.chunk)
+		} else {
+			m.ml1.Push(st.chunk)
+		}
 		st.inML2 = true
 		st.sub = sub
+		st.sum = pageChecksum(ppn, size)
 		m.ml1Size--
 		m.Stats.ML1ToML2++
 		m.ob.ml1ToML2.Inc()
@@ -799,13 +952,18 @@ func (m *MC) evictOne(now config.Time) bool {
 		if check.Enabled {
 			check.Invariant("mc: chunk-conservation after eviction", m.audit)
 		}
-		return true
+		return wlast, true
 	}
 }
 
 // dramOp wraps read/write with the MC<->LLC NoC latency on the response
-// path for reads.
+// path for reads. The armed fault injector may delay the issue (latency
+// spike, transient channel busy); the one nil check is the entire cost of
+// the hook in healthy runs.
 func (m *MC) dramOp(now config.Time, addr uint64, write bool) config.Time {
+	if m.inj != nil {
+		now = m.injectDRAM(now, addr)
+	}
 	if write {
 		return m.dram.Write(now, addr)
 	}

@@ -18,9 +18,18 @@ func sizesFor(t testing.TB, bench string) *workload.SizeModel {
 	return s
 }
 
+func mustNew(t testing.TB, cfg Config) *MC {
+	t.Helper()
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
 func newTwoLevel(t testing.TB, kind Kind) *MC {
 	t.Helper()
-	return New(Config{
+	return mustNew(t, Config{
 		Kind:        kind,
 		Sys:         config.Default(),
 		BudgetPages: 4096,
@@ -33,7 +42,7 @@ func newTwoLevel(t testing.TB, kind Kind) *MC {
 }
 
 func TestUncompressedAccess(t *testing.T) {
-	m := New(Config{Kind: Uncompressed, Sys: config.Default(), BudgetPages: 1024, OSPages: 1024})
+	m := mustNew(t, Config{Kind: Uncompressed, Sys: config.Default(), BudgetPages: 1024, OSPages: 1024})
 	m.Place(5, false)
 	res := m.Access(0, 5, 3, false, nil, false)
 	if res.Tag != TagUncompressed || res.Done <= 0 {
@@ -45,7 +54,7 @@ func TestUncompressedAccess(t *testing.T) {
 }
 
 func TestCompressoSerialCTEMiss(t *testing.T) {
-	m := New(Config{
+	m := mustNew(t, Config{
 		Kind: Compresso, Sys: config.Default(),
 		BudgetPages: 4096, OSPages: 16384, Sizes: sizesFor(t, "pageRank"), Seed: 1,
 	})
@@ -145,7 +154,7 @@ func TestEvictionKeepsFreeList(t *testing.T) {
 }
 
 func TestIncompressiblePagesStayInML1(t *testing.T) {
-	m := New(Config{
+	m := mustNew(t, Config{
 		Kind: TMCC, Sys: config.Default(),
 		BudgetPages: 4096, OSPages: 16384,
 		Sizes:       sizesFor(t, "canneal"), // 40% random pages

@@ -44,25 +44,26 @@ import (
 type Component int
 
 const (
-	CWalk        Component = iota // TLB-miss page-walk chain (PTB fetches)
-	CCacheHit                     // L1/L2/L3 hit service latency
-	CCTELookup                    // CTE-cache lookup (zero-latency in the current model; kept as an explicit column)
-	CCTESerial                    // blocking CTE fetch from DRAM in front of the data access
-	CCTEParallel                  // speculative CTE fetch, full duration (overlaps the data fetch)
-	COverlap                      // overlap credit: time hidden by speculate-and-verify (subtracted)
-	CVerifyRedo                   // re-executed access after a failed speculation verify
-	CDataML1                      // data fetch served by uncompressed ML1
-	CDataML2                      // data fetch served by compressed ML2 (reads of compressed chunks)
-	CDecompress                   // ML2 half-page decompression latency
-	CMigStall                     // stall waiting for a migration-buffer slot
-	CNoC                          // network-on-chip hop between LLC and MC
+	CWalk          Component = iota // TLB-miss page-walk chain (PTB fetches)
+	CCacheHit                       // L1/L2/L3 hit service latency
+	CCTELookup                      // CTE-cache lookup (zero-latency in the current model; kept as an explicit column)
+	CCTESerial                      // blocking CTE fetch from DRAM in front of the data access
+	CCTEParallel                    // speculative CTE fetch, full duration (overlaps the data fetch)
+	COverlap                        // overlap credit: time hidden by speculate-and-verify (subtracted)
+	CVerifyRedo                     // re-executed access after a failed speculation verify
+	CDataML1                        // data fetch served by uncompressed ML1
+	CDataML2                        // data fetch served by compressed ML2 (reads of compressed chunks)
+	CDecompress                     // ML2 half-page decompression latency
+	CMigStall                       // stall waiting for a migration-buffer slot
+	CPressureStall                  // capacity-pressure stall: emergency force-migration blocking a placement
+	CNoC                            // network-on-chip hop between LLC and MC
 	NumComponents
 )
 
 var componentNames = [NumComponents]string{
 	"walk", "cacheHit", "cteLookup", "cteSerial", "cteParallel",
 	"overlapCredit", "verifyRedo", "dataML1", "dataML2", "decompress",
-	"migStall", "noc",
+	"migStall", "pressureStall", "noc",
 }
 
 // String returns the stable column name used in CSV headers and flame
@@ -323,7 +324,7 @@ var CSVHeader = []string{
 	"benchmark", "kind", "class", "accesses", "totalPS",
 	"walkPS", "cacheHitPS", "cteLookupPS", "cteSerialPS", "cteParallelPS",
 	"overlapCreditPS", "verifyRedoPS", "dataML1PS", "dataML2PS",
-	"decompressPS", "migStallPS", "nocPS",
+	"decompressPS", "migStallPS", "pressureStallPS", "nocPS",
 }
 
 // WriteCSV writes the snapshot as one row per (benchmark, kind, class)

@@ -24,7 +24,7 @@ func runAttributed(t *testing.T, kind mc.Kind) (Metrics, attr.GroupSnapshot) {
 	if err != nil {
 		t.Fatalf("%v: NewRunnerObserved: %v", kind, err)
 	}
-	m := r.Run()
+	m := mustRun(t, r)
 	s := ob.At.Snapshot()
 	if err := s.Conserved(); err != nil {
 		t.Fatalf("%v: %v", kind, err)
@@ -146,7 +146,7 @@ func TestAttributionOffLeavesNoTrace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r.Run()
+	mustRun(t, r)
 	if r.ag != nil {
 		t.Error("plain run carries an attribution group")
 	}
@@ -156,7 +156,7 @@ func TestAttributionOffLeavesNoTrace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ro.Run()
+	mustRun(t, ro)
 	if ro.ag != nil {
 		t.Error("recorder-less observer produced an attribution group")
 	}

@@ -7,6 +7,7 @@ import (
 	"tmcc/internal/cache"
 	"tmcc/internal/config"
 	"tmcc/internal/ctecache"
+	"tmcc/internal/fault"
 	"tmcc/internal/freelist"
 	"tmcc/internal/ibmdeflate"
 	"tmcc/internal/mc"
@@ -39,13 +40,21 @@ func CompressoBudgetPages(footprint uint64, sizes *workload.SizeModel) uint64 {
 }
 
 // NewRunner builds a complete simulated system for the options.
-func NewRunner(opt Options) (*Runner, error) { return NewRunnerObserved(opt, nil) }
+func NewRunner(opt Options) (*Runner, error) { return NewRunnerInjected(opt, nil, nil) }
 
 // NewRunnerObserved builds the system with an observer attached. The
 // observer deliberately lives outside Options: Options is the experiment
 // engine's memoization key, and observation must never change what a run
 // computes. A nil observer is exactly NewRunner.
 func NewRunnerObserved(opt Options, ob *obs.Observer) (*Runner, error) {
+	return NewRunnerInjected(opt, ob, nil)
+}
+
+// NewRunnerInjected additionally arms a fault injector. Like the
+// observer, the injector lives outside Options (and so outside the memo
+// key): one process runs one fault plan. A nil injector is exactly
+// NewRunnerObserved — every fault site stays on its no-fault branch.
+func NewRunnerInjected(opt Options, ob *obs.Observer, inj *fault.Injector) (*Runner, error) {
 	spec, ok := workload.SpecFor(opt.Benchmark)
 	if !ok {
 		return nil, fmt.Errorf("sim: unknown benchmark %q", opt.Benchmark)
@@ -105,7 +114,7 @@ func NewRunnerObserved(opt Options, ob *obs.Observer) (*Runner, error) {
 			osPages = min
 		}
 	}
-	mcc := mc.New(mc.Config{
+	mcc, err := mc.New(mc.Config{
 		Kind:         opt.Kind,
 		Sys:          sys,
 		BudgetPages:  budget,
@@ -117,7 +126,11 @@ func NewRunnerObserved(opt Options, ob *obs.Observer) (*Runner, error) {
 		CTEOverride:  opt.CTEOverride,
 		VictimShadow: opt.VictimShadow,
 		Obs:          ob,
+		Inject:       inj,
 	})
+	if err != nil {
+		return nil, fmt.Errorf("sim: %s/%s: %w", opt.Benchmark, opt.Kind, err)
+	}
 
 	r := &Runner{
 		opt:   opt,
@@ -126,6 +139,7 @@ func NewRunnerObserved(opt Options, ob *obs.Observer) (*Runner, error) {
 		as:    as,
 		sizes: sizes,
 		mcc:   mcc,
+		inj:   inj,
 		l3:    cache.New(sys.Cache.L3SizeMB*config.MiB, sys.Cache.Assoc*2),
 		ptbs:  make(map[uint64]*ptbState),
 		rng:   rand.New(rand.NewSource(opt.Seed + 77)),
@@ -161,6 +175,11 @@ func NewRunnerObserved(opt Options, ob *obs.Observer) (*Runner, error) {
 		}
 	} else if err := r.place(budget, sizes); err != nil {
 		return nil, err
+	}
+	// Placement-time capacity exhaustion surfaces here, before any
+	// simulated time elapses — the run could not even be laid out.
+	if err := mcc.Err(); err != nil {
+		return nil, fmt.Errorf("sim: %s/%s placement: %w", opt.Benchmark, opt.Kind, err)
 	}
 	// Drive background eviction to steady state before any simulated time
 	// elapses (the paper's long atomic warmup does the same).
@@ -275,7 +294,8 @@ func (r *Runner) planML1(footprint uint64) (uint64, error) {
 	avail := int64(r.mcc.ChunkPool()) - int64(tableReserve) - int64(freeReserve)
 	ml1 := (float64(avail) - float64(footprint)*ratio) / (1 - ratio)
 	if ml1 < 0 {
-		return 0, fmt.Errorf("sim: budget cannot hold footprint %d even fully compressed", footprint)
+		return 0, fmt.Errorf("sim: budget cannot hold footprint %d even fully compressed: %w",
+			footprint, mc.ErrCapacityExhausted)
 	}
 	ml1Pages := uint64(ml1)
 	if ml1Pages > footprint {

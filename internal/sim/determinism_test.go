@@ -32,7 +32,7 @@ func TestDeterminismAllKinds(t *testing.T) {
 				if err != nil {
 					t.Fatalf("NewRunner: %v", err)
 				}
-				return r.Run()
+				return mustRun(t, r)
 			}
 			a, b := run(), run()
 			if a != b {

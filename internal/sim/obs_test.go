@@ -47,7 +47,7 @@ func TestObservationDoesNotPerturbResults(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%v: NewRunnerObserved: %v", kind, err)
 		}
-		a, b := plain.Run(), observed.Run()
+		a, b := mustRun(t, plain), mustRun(t, observed)
 		if a != b {
 			t.Errorf("%v: observation changed the results:\nplain:    %+v\nobserved: %+v", kind, a, b)
 		}
@@ -66,7 +66,7 @@ func TestObsCountersConsistentWithMetrics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := r.Run()
+	m := mustRun(t, r)
 	if m.MC.ML2Reads == 0 {
 		t.Fatal("tight budget produced no ML2 demand reads; the fixture lost its bite")
 	}
@@ -188,7 +188,7 @@ func TestZeroMeasureWindowRunIsFinite(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := r.Run()
+	m := mustRun(t, r)
 	if m.Cycles != 0 || m.Instructions != 0 || m.LLCMisses != 0 {
 		t.Fatalf("empty measure window recorded work: %+v", m)
 	}

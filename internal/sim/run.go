@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"fmt"
+
 	"tmcc/internal/cache"
 	"tmcc/internal/config"
 	"tmcc/internal/cte"
@@ -15,8 +17,12 @@ import (
 // automatic-turn-off accuracy accounting).
 const flagPrefetched = cache.FlagCompressedPTB << 1
 
-// Run executes warmup then measurement and returns the metrics.
-func (r *Runner) Run() Metrics {
+// Run executes warmup then measurement and returns the metrics. A
+// non-nil error means the run could not complete — today that is the MC's
+// sticky ErrCapacityExhausted, raised when the pressure controller ran
+// out of degradation rungs; the partially-filled metrics accompany it for
+// diagnosis but must not be reported as results.
+func (r *Runner) Run() (Metrics, error) {
 	r.recording = false
 	w0 := r.maxCoreTime()
 	r.runAccesses(r.opt.WarmupAccesses)
@@ -37,7 +43,10 @@ func (r *Runner) Run() Metrics {
 	r.m.DRAMWrites = d.Stats.Writes
 	r.m.BusUtilization = d.BusUtilization(r.m.Elapsed)
 	r.m.RowHitRate = d.RowHitRate()
-	return r.m
+	if err := r.mcc.Err(); err != nil {
+		return r.m, fmt.Errorf("sim: %s/%s aborted: %w", r.opt.Benchmark, r.opt.Kind, err)
+	}
+	return r.m, nil
 }
 
 func (r *Runner) maxCoreTime() config.Time {
@@ -62,6 +71,11 @@ func (r *Runner) resetStats() {
 
 func (r *Runner) runAccesses(n int) {
 	for i := 0; i < n; i++ {
+		if r.mcc.Err() != nil {
+			// Capacity exhausted mid-run: further accesses would use
+			// unreliable placements. Stop here; Run surfaces the error.
+			return
+		}
 		// Pick the core with the earliest clock (multi-core interleave).
 		c := r.cores[0]
 		for _, cc := range r.cores[1:] {
@@ -230,7 +244,13 @@ func (r *Runner) memAccess(c *core, t config.Time, block uint64, write, isPTB, w
 	var embedded *cte.Entry
 	if r.opt.Kind == mc.TMCC && !r.opt.DisableEmbed {
 		if e, ok := c.buf.Lookup(ppn); ok && e.HasCTE {
-			embedded = &cte.Entry{DRAMPage: e.CTE}
+			tr := e.CTE
+			if r.inj != nil {
+				// Fault site (a): corrupt or stale-out the embedded CTE the
+				// request piggybacks, forcing the MC's verify-redo recovery.
+				tr, _ = r.inj.PerturbCTE(tr, r.pcfg.CTEBits)
+			}
+			embedded = &cte.Entry{DRAMPage: tr}
 		}
 	}
 	res := r.mcc.Access(t, ppn, off, false, embedded, walkRelated)

@@ -19,6 +19,7 @@ import (
 	"tmcc/internal/config"
 	"tmcc/internal/cte"
 	"tmcc/internal/ctecache"
+	"tmcc/internal/fault"
 	"tmcc/internal/mc"
 	"tmcc/internal/obs"
 	"tmcc/internal/obs/attr"
@@ -172,6 +173,11 @@ type Runner struct {
 	m         Metrics
 	recording bool
 	sob       simObs
+
+	// inj is the run's fault injector (nil in healthy runs). The simulator
+	// owns the embedded-CTE fault site — the PTB/CTE-Buffer machinery lives
+	// here — while the MC holds the payload and DRAM sites.
+	inj *fault.Injector
 
 	// ag is the latency-attribution sink for this run's (benchmark,
 	// kind); nil when attribution is off. attrWalk carries the most

@@ -16,7 +16,7 @@ func TestEmbeddingAblationChangesBehaviour(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	noEmbed := r.Run()
+	noEmbed := mustRun(t, r)
 	if noEmbed.MC.ParallelOK != 0 {
 		t.Errorf("embedding disabled but %d parallel accesses", noEmbed.MC.ParallelOK)
 	}
@@ -50,7 +50,7 @@ func TestHugePagesRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := r.Run()
+	m := mustRun(t, r)
 	// Embedding is ineffective under huge pages (Section VIII).
 	if m.MC.ParallelOK != 0 {
 		t.Errorf("huge pages but %d parallel accesses", m.MC.ParallelOK)
@@ -99,7 +99,7 @@ func TestMultiMCInterleaving(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := r.Run()
+	m := mustRun(t, r)
 	single := runQuick(t, "canneal", mc.Uncompressed, 0)
 	// Four channels must relieve the bandwidth bottleneck.
 	if m.AvgL3MissLatencyNS() > single.AvgL3MissLatencyNS() {

@@ -6,6 +6,17 @@ import (
 	"tmcc/internal/mc"
 )
 
+// mustRun executes a run that the test expects to finish cleanly — any
+// Run error (e.g. capacity exhaustion) is a test fatality, not a return.
+func mustRun(t testing.TB, r *Runner) Metrics {
+	t.Helper()
+	m, err := r.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return m
+}
+
 func runQuick(t *testing.T, bench string, kind mc.Kind, budget uint64) Metrics {
 	t.Helper()
 	r, err := NewRunner(Options{
@@ -19,7 +30,7 @@ func runQuick(t *testing.T, bench string, kind mc.Kind, budget uint64) Metrics {
 	if err != nil {
 		t.Fatalf("NewRunner(%s,%v): %v", bench, kind, err)
 	}
-	return r.Run()
+	return mustRun(t, r)
 }
 
 func TestSmokeAllKindsSmallBench(t *testing.T) {

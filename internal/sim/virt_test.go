@@ -15,7 +15,7 @@ func runVirt(t *testing.T, kind mc.Kind) Metrics {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return r.Run()
+	return mustRun(t, r)
 }
 
 func TestVirtualizedRuns(t *testing.T) {

@@ -59,7 +59,7 @@ func Simulate(opts SimOptions) (Metrics, error) {
 	if err != nil {
 		return Metrics{}, err
 	}
-	return r.Run(), nil
+	return r.Run()
 }
 
 // Benchmarks returns the paper's twelve large/irregular benchmarks
