@@ -9,13 +9,18 @@ all: lint test
 build:
 	$(GO) build ./...
 
-# lint = formatting + vet + the domain-aware tmcclint rules
-# (determinism, architectural-constant hygiene, panic conventions).
+# lint = formatting + vet + the domain-aware tmcclint rules. tmcclint is
+# two-phase: syntactic AST rules (determinism, architectural-constant
+# hygiene, panic conventions) plus type-aware semantic rules (atomic
+# discipline, memo-key purity, error discipline, Time/Cycles unit safety,
+# attribution registration). -time prints per-phase and per-package wall
+# time; the whole-module type-check is loaded once and shared by every
+# rule, keeping the full run well under 10s.
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needs to run on:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
-	$(GO) run ./cmd/tmcclint ./...
+	$(GO) run ./cmd/tmcclint -time ./...
 
 test:
 	$(GO) test ./...
@@ -32,6 +37,7 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz FuzzBlockCompRoundTrip -fuzztime 10s ./internal/blockcomp/
 	$(GO) test -run=^$$ -fuzz FuzzMemDeflateRoundTrip -fuzztime 10s ./internal/memdeflate/
 	$(GO) test -run=^$$ -fuzz FuzzEntryRoundTrip -fuzztime 10s ./internal/cte/
+	$(GO) test -run=^$$ -fuzz FuzzParseAllow -fuzztime 10s ./internal/lint/
 
 fmt:
 	gofmt -w .

@@ -1,18 +1,27 @@
 // Command tmcclint runs the TMCC-specific static analyzer over the module.
-// It is stdlib-only (go/ast, go/parser, go/token) and enforces the
-// determinism, magic-literal, and panic-convention rules documented in
-// package internal/lint.
+// It is stdlib-only and two-phase: the AST rules (determinism,
+// magic-literal, panic-prefix, obs-sink-purity) need only a parse, while
+// the semantic rules (atomic-discipline, memo-key-purity,
+// error-discipline, unit-safety, attr-registration) run over a go/types
+// type-check of the whole module, loaded once and shared by every rule.
 //
 // Usage:
 //
-//	tmcclint ./...            # whole module (run from the module root)
-//	tmcclint internal/mc      # one directory
-//	tmcclint file.go          # single files work too
+//	tmcclint ./...                  # whole module (run from inside it)
+//	tmcclint internal/mc            # scope findings to one directory
+//	tmcclint file.go                # single files work too
+//	tmcclint -json ./...            # machine-readable findings + warnings
+//	tmcclint -rules unit-safety,error-discipline ./...
+//	tmcclint -time ./...            # per-phase and per-package wall time
 //
-// Exit status is 1 when any rule fires, 2 on usage or parse errors.
+// Packages that fail to type-check degrade to AST-only linting with a
+// warning on stderr (or in the JSON "warnings" array); warnings do not
+// affect the exit status. Exit status is 1 when any rule fires, 2 on usage
+// or parse errors.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"go/parser"
@@ -22,19 +31,30 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"tmcc/internal/lint"
 )
 
 func main() {
+	jsonOut := flag.Bool("json", false, "emit findings and warnings as JSON on stdout")
+	rulesFlag := flag.String("rules", "", "comma-separated rule names to run (default: all)")
+	timing := flag.Bool("time", false, "report per-phase and per-package wall time on stderr")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: tmcclint [packages|dirs|files]\n")
+		fmt.Fprintf(os.Stderr, "usage: tmcclint [-json] [-rules r1,r2] [-time] [packages|dirs|files]\n")
 		flag.PrintDefaults()
+		fmt.Fprintf(os.Stderr, "rules: %s\n", strings.Join(lint.AllRules(), ", "))
 	}
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
 		args = []string{"./..."}
+	}
+
+	enabled, err := parseRules(*rulesFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tmcclint: %v\n", err)
+		os.Exit(2)
 	}
 
 	files, err := collect(args)
@@ -43,25 +63,21 @@ func main() {
 		os.Exit(2)
 	}
 
-	fset := token.NewFileSet()
 	var diags []lint.Diag
-	parseFailed := false
-	for _, file := range files {
-		f, err := parser.ParseFile(fset, file, nil, parser.ParseComments)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "tmcclint: %v\n", err)
-			parseFailed = true
-			continue
-		}
-		// Scope the per-directory rules by the absolute path, so running
-		// from inside internal/ still applies the determinism rules;
-		// diagnostics keep the path as given.
-		scope := file
-		if abs, err := filepath.Abs(file); err == nil {
-			scope = abs
-		}
-		diags = append(diags, lint.File(fset, filepath.ToSlash(scope), f)...)
+	var warnings []string
+	hardFail := false
+
+	root, rootErr := moduleRoot()
+	if rootErr == nil {
+		diags, warnings, hardFail = lintModule(root, files, enabled, *timing)
+	} else {
+		// No enclosing module: degrade to the historical AST-only path so
+		// stray files still get the syntactic rules.
+		warnings = append(warnings,
+			fmt.Sprintf("no module root found (%v); semantic rules skipped, AST rules only", rootErr))
+		diags, hardFail = lintLoose(files, enabled)
 	}
+
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Pos, diags[j].Pos
 		if a.Filename != b.Filename {
@@ -70,17 +86,231 @@ func main() {
 		if a.Line != b.Line {
 			return a.Line < b.Line
 		}
-		return a.Column < b.Column
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Rule < diags[j].Rule
 	})
-	for _, d := range diags {
-		fmt.Println(d)
+
+	if *jsonOut {
+		emitJSON(diags, warnings)
+	} else {
+		for _, w := range warnings {
+			fmt.Fprintf(os.Stderr, "tmcclint: warning: %s\n", w)
+		}
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	switch {
-	case parseFailed:
+	case hardFail:
 		os.Exit(2)
 	case len(diags) > 0:
-		fmt.Fprintf(os.Stderr, "tmcclint: %d finding(s)\n", len(diags))
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "tmcclint: %d finding(s)\n", len(diags))
+		}
 		os.Exit(1)
+	}
+}
+
+// lintModule runs both phases over the enclosing module and filters the
+// findings down to the files the arguments named.
+func lintModule(root string, files []string, enabled func(string) bool, timing bool) (diags []lint.Diag, warnings []string, hardFail bool) {
+	now := func() int64 { return time.Now().UnixNano() }
+	t0 := now()
+	m, err := lint.LoadModuleCached(root, now)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tmcclint: %v\n", err)
+		os.Exit(2)
+	}
+	tLoad := now()
+	warnings = m.Warnings
+
+	scope := map[string]bool{}
+	for _, f := range files {
+		if rel, ok := moduleRel(root, f); ok {
+			scope[rel] = true
+		}
+	}
+	inScope := func(filename string) bool { return scope[filename] }
+
+	for _, d := range m.ASTDiags() {
+		if inScope(d.Pos.Filename) && enabled(d.Rule) {
+			diags = append(diags, d)
+		}
+	}
+	tAST := now()
+	for _, d := range m.Semantic(enabled) {
+		if inScope(d.Pos.Filename) {
+			diags = append(diags, d)
+		}
+	}
+	tSem := now()
+
+	// Files named on the command line but outside the module (or excluded
+	// by build tags) still get the loose AST pass, so `tmcclint file.go`
+	// keeps working for test fixtures and scratch files.
+	var loose []string
+	for _, f := range files {
+		if rel, ok := moduleRel(root, f); !ok || !moduleHasFile(m, rel) {
+			loose = append(loose, f)
+		}
+	}
+	if len(loose) > 0 {
+		ld, lf := lintLoose(loose, enabled)
+		diags = append(diags, ld...)
+		hardFail = hardFail || lf
+	}
+
+	if timing {
+		reportTiming(m, tLoad-t0, tAST-tLoad, tSem-tAST)
+	}
+	return diags, warnings, hardFail
+}
+
+// moduleRel maps a command-line path to the module-relative slash path the
+// loader uses as the fset filename.
+func moduleRel(root, file string) (string, bool) {
+	abs, err := filepath.Abs(file)
+	if err != nil {
+		return "", false
+	}
+	rel, err := filepath.Rel(root, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", false
+	}
+	return filepath.ToSlash(rel), true
+}
+
+func moduleHasFile(m *lint.Module, rel string) bool {
+	for _, p := range m.Pkgs {
+		for _, fn := range p.FileNames {
+			if fn == rel {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// lintLoose is the pre-type-check path: parse each file independently and
+// run only the AST rules.
+func lintLoose(files []string, enabled func(string) bool) (diags []lint.Diag, hardFail bool) {
+	fset := token.NewFileSet()
+	for _, file := range files {
+		if strings.HasSuffix(file, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, file, nil, parser.ParseComments)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tmcclint: %v\n", err)
+			hardFail = true
+			continue
+		}
+		scope := file
+		if abs, err := filepath.Abs(file); err == nil {
+			scope = abs
+		}
+		for _, d := range lint.File(fset, filepath.ToSlash(scope), f) {
+			if enabled(d.Rule) {
+				diags = append(diags, d)
+			}
+		}
+	}
+	return diags, hardFail
+}
+
+func reportTiming(m *lint.Module, loadNanos, astNanos, semNanos int64) {
+	ms := func(n int64) string { return fmt.Sprintf("%.1fms", float64(n)/1e6) }
+	var parse, check int64
+	type row struct {
+		path  string
+		nanos int64
+	}
+	var rows []row
+	for _, p := range m.Pkgs {
+		parse += p.ParseNanos
+		check += p.CheckNanos
+		rows = append(rows, row{p.ImportPath, p.ParseNanos + p.CheckNanos})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].nanos > rows[j].nanos })
+	fmt.Fprintf(os.Stderr, "tmcclint: phase load %s (parse %s, typecheck %s), ast-rules %s, semantic-rules %s\n",
+		ms(loadNanos), ms(parse), ms(check), ms(astNanos), ms(semNanos))
+	for _, r := range rows {
+		fmt.Fprintf(os.Stderr, "tmcclint:   %-40s %s\n", r.path, ms(r.nanos))
+	}
+}
+
+// parseRules builds the rule filter from the -rules flag.
+func parseRules(spec string) (func(string) bool, error) {
+	if spec == "" {
+		return func(string) bool { return true }, nil
+	}
+	valid := map[string]bool{}
+	for _, r := range lint.AllRules() {
+		valid[r] = true
+	}
+	want := map[string]bool{}
+	for _, r := range strings.Split(spec, ",") {
+		r = strings.TrimSpace(r)
+		if r == "" {
+			continue
+		}
+		if !valid[r] {
+			return nil, fmt.Errorf("unknown rule %q (valid: %s)", r, strings.Join(lint.AllRules(), ", "))
+		}
+		want[r] = true
+	}
+	return func(r string) bool { return want[r] }, nil
+}
+
+// jsonFinding is one finding in -json output; fields mirror the text
+// format "file:line:col: rule: msg" and the CI problem matcher.
+type jsonFinding struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Rule string `json:"rule"`
+	Msg  string `json:"msg"`
+}
+
+func emitJSON(diags []lint.Diag, warnings []string) {
+	out := struct {
+		Findings []jsonFinding `json:"findings"`
+		Warnings []string      `json:"warnings"`
+	}{Findings: []jsonFinding{}, Warnings: warnings}
+	if out.Warnings == nil {
+		out.Warnings = []string{}
+	}
+	for _, d := range diags {
+		out.Findings = append(out.Findings, jsonFinding{
+			File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column,
+			Rule: d.Rule, Msg: d.Msg,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintf(os.Stderr, "tmcclint: %v\n", err)
+		os.Exit(2)
+	}
+}
+
+// moduleRoot walks up from the working directory to the nearest go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
 	}
 }
 

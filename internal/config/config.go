@@ -10,6 +10,34 @@ package config
 // Time is a simulation timestamp or duration in picoseconds.
 type Time int64
 
+// Picos is the explicit name for Time where code wants to state the unit
+// at a declaration site (latency attribution sums, DRAM bus accounting).
+// It is an alias, not a distinct type: Time already is picoseconds, so a
+// second incompatible picosecond type would force conversions that carry
+// no information. The distinct unit in the codebase is Cycles; tmcclint's
+// unit-safety rule polices the Time<->Cycles boundary.
+type Picos = Time
+
+// Cycles counts CPU clock cycles. It is deliberately a distinct named
+// type (not an alias): a cycle count is not a duration until it is
+// scaled by the cycle time, and the unit-safety lint rule flags direct
+// Time(...)/Cycles(...) conversions that skip the scaling. Convert with
+// Cycles.Dur and CyclesIn instead.
+type Cycles int64
+
+// Dur converts a cycle count into simulated time given the duration of
+// one cycle (see CPU.Cycle).
+func (n Cycles) Dur(cycle Time) Time { return Time(n) * cycle }
+
+// CyclesIn reports how many whole cycles of the given duration fit in t;
+// a non-positive cycle duration yields 0.
+func CyclesIn(t, cycle Time) Cycles {
+	if cycle <= 0 {
+		return 0
+	}
+	return Cycles(t / cycle)
+}
+
 // Common time units.
 const (
 	Picosecond  Time = 1
@@ -61,9 +89,9 @@ type Caches struct {
 	L3SizeMB int // shared, exclusive
 	Assoc    int
 
-	L1Cycles int // hit latency in CPU cycles
-	L2Cycles int // additional cycles over L1
-	L3Cycles int // additional cycles over L2
+	L1Cycles Cycles // hit latency in CPU cycles
+	L2Cycles Cycles // additional cycles over L1
+	L3Cycles Cycles // additional cycles over L2
 
 	NextLinePrefetch bool
 	StrideDegreeL1   int

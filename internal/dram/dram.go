@@ -31,7 +31,7 @@ type channel struct {
 	sched busSched
 	ranks []rank
 	// stats
-	busBusy config.Time
+	busBusy config.Picos // picoseconds the data bus spent transferring
 }
 
 // busSched models the channel data bus as slotted epochs with backfill:
@@ -113,8 +113,9 @@ type Stats struct {
 	Writes    uint64
 	RowHits   uint64
 	RowMisses uint64
-	// TotalReadLatency sums (completion - issue) over reads.
-	TotalReadLatency config.Time
+	// TotalReadLatency sums (completion - issue) over reads, in
+	// integer picoseconds.
+	TotalReadLatency config.Picos
 	// RefreshStalls counts accesses delayed behind a rank refresh.
 	RefreshStalls uint64
 }

@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ParseAllow parses a single comment as a //tmcclint:allow directive.
+//
+// The grammar is
+//
+//	//tmcclint:allow [rule[, rule...]] [(reason ...)]
+//
+// where rules are separated by spaces and/or commas and everything from the
+// first token that starts with "(" to the end of the comment is a free-form
+// reason. An empty rule list means "suppress every rule on this line".
+//
+// text is the comment text with or without its leading "//". ok is false
+// when the comment is not an allow directive at all (including spellings
+// like "tmcclint:allowall" where the keyword has no boundary after it).
+func ParseAllow(text string) (rules []string, reason string, ok bool) {
+	text = strings.TrimPrefix(text, "//")
+	text = strings.TrimSpace(text)
+	const kw = "tmcclint:allow"
+	if !strings.HasPrefix(text, kw) {
+		return nil, "", false
+	}
+	rest := text[len(kw):]
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return nil, "", false
+	}
+	// Split off the reason: it starts at the first whitespace-delimited
+	// token that begins with "(". A "(" glued onto a rule name stays part
+	// of that token, which then matches no real rule — malformed
+	// directives degrade to suppressing nothing rather than everything.
+	inTok := false
+	for i := 0; i < len(rest); i++ {
+		ch := rest[i]
+		if ch == ' ' || ch == '\t' {
+			inTok = false
+			continue
+		}
+		if !inTok {
+			inTok = true
+			if ch == '(' {
+				reason = strings.TrimSpace(rest[i:])
+				rest = rest[:i]
+				break
+			}
+		}
+	}
+	for _, f := range strings.FieldsFunc(rest, func(r rune) bool {
+		return r == ' ' || r == '\t' || r == ','
+	}) {
+		rules = append(rules, f)
+	}
+	return rules, reason, true
+}
+
+// collectAllows indexes //tmcclint:allow directives. A directive applies to
+// its own line (trailing comment) and to the line below it (standalone
+// comment above the offending statement).
+func collectAllows(fset *token.FileSet, f *ast.File) map[int]map[string]bool {
+	out := map[int]map[string]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			rules, _, ok := ParseAllow(c.Text)
+			if !ok {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			for _, ln := range []int{line, line + 1} {
+				m := out[ln]
+				if m == nil {
+					m = map[string]bool{}
+					out[ln] = m
+				}
+				if len(rules) == 0 {
+					m[""] = true
+				}
+				for _, r := range rules {
+					m[r] = true
+				}
+			}
+		}
+	}
+	return out
+}

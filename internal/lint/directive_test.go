@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseAllow(t *testing.T) {
+	cases := []struct {
+		in     string
+		rules  []string
+		reason string
+		ok     bool
+	}{
+		{"//tmcclint:allow", nil, "", true},
+		{"// tmcclint:allow", nil, "", true},
+		{"//tmcclint:allow magic-literal", []string{"magic-literal"}, "", true},
+		{"//tmcclint:allow magic-literal (epoch ring length, not the page size)",
+			[]string{"magic-literal"}, "(epoch ring length, not the page size)", true},
+		{"//tmcclint:allow unit-safety,error-discipline (both)",
+			[]string{"unit-safety", "error-discipline"}, "(both)", true},
+		{"//tmcclint:allow a, b,,c", []string{"a", "b", "c"}, "", true},
+		{"//tmcclint:allow (reason only)", nil, "(reason only)", true},
+		// A "(" glued onto a rule keeps it one (never-matching) token
+		// instead of silently suppressing everything.
+		{"//tmcclint:allow magic-literal(glued)", []string{"magic-literal(glued)"}, "", true},
+		{"//tmcclint:allowall", nil, "", false},
+		{"// just a comment", nil, "", false},
+		{"//tmcclint:deny x", nil, "", false},
+	}
+	for _, c := range cases {
+		rules, reason, ok := ParseAllow(c.in)
+		if ok != c.ok || reason != c.reason || strings.Join(rules, "|") != strings.Join(c.rules, "|") {
+			t.Errorf("ParseAllow(%q) = %q, %q, %v; want %q, %q, %v",
+				c.in, rules, reason, ok, c.rules, c.reason, c.ok)
+		}
+	}
+}
+
+// FuzzParseAllow pins the directive parser's safety contract: arbitrary
+// comment text never panics, a not-ok result carries zero values, and
+// returned rule tokens never contain separators (which would make the
+// suppression matcher misfire).
+func FuzzParseAllow(f *testing.F) {
+	f.Add("//tmcclint:allow")
+	f.Add("//tmcclint:allow magic-literal (epoch ring length)")
+	f.Add("tmcclint:allow a,b,c (x")
+	f.Add("//tmcclint:allowall")
+	f.Add("//\ttmcclint:allow\tunit-safety,,  ((nested) parens) trailing")
+	f.Add("//tmcclint:allow ()()((")
+	f.Fuzz(func(t *testing.T, s string) {
+		rules, reason, ok := ParseAllow(s)
+		if !ok {
+			if rules != nil || reason != "" {
+				t.Fatalf("ParseAllow(%q) not ok but returned %q, %q", s, rules, reason)
+			}
+			return
+		}
+		for _, r := range rules {
+			if r == "" || strings.ContainsAny(r, " \t,") {
+				t.Fatalf("ParseAllow(%q) returned malformed rule token %q", s, r)
+			}
+		}
+		if reason != strings.TrimSpace(reason) {
+			t.Fatalf("ParseAllow(%q) returned untrimmed reason %q", s, reason)
+		}
+	})
+}

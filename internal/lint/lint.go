@@ -152,38 +152,6 @@ type checker struct {
 	diags   []Diag
 }
 
-// collectAllows indexes //tmcclint:allow directives. A directive applies to
-// its own line (trailing comment) and to the line below it (standalone
-// comment above the offending statement).
-func collectAllows(fset *token.FileSet, f *ast.File) map[int]map[string]bool {
-	out := map[int]map[string]bool{}
-	for _, cg := range f.Comments {
-		for _, c := range cg.List {
-			text := strings.TrimPrefix(c.Text, "//")
-			text = strings.TrimSpace(text)
-			if !strings.HasPrefix(text, "tmcclint:allow") {
-				continue
-			}
-			rules := strings.Fields(strings.TrimPrefix(text, "tmcclint:allow"))
-			line := fset.Position(c.Pos()).Line
-			for _, ln := range []int{line, line + 1} {
-				m := out[ln]
-				if m == nil {
-					m = map[string]bool{}
-					out[ln] = m
-				}
-				if len(rules) == 0 {
-					m[""] = true
-				}
-				for _, r := range rules {
-					m[r] = true
-				}
-			}
-		}
-	}
-	return out
-}
-
 func (c *checker) report(pos token.Pos, rule, msg string) {
 	p := c.fset.Position(pos)
 	if m, ok := c.allowed[p.Line]; ok && (m[""] || m[rule]) {

@@ -1,0 +1,220 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// loadFixture loads a testdata module through the process-wide cache, so
+// the (expensive) stdlib type-check happens once per module across all
+// tests in this file.
+func loadFixture(t *testing.T, name string) *Module {
+	t.Helper()
+	m, err := LoadModuleCached("testdata/"+name, nil)
+	if err != nil {
+		t.Fatalf("LoadModuleCached(%s): %v", name, err)
+	}
+	return m
+}
+
+// semHas reports whether a finding with the rule exists whose file path
+// contains fileSub and whose message contains msgSub.
+func semHas(diags []Diag, rule, fileSub, msgSub string) bool {
+	for _, d := range diags {
+		if d.Rule == rule && strings.Contains(d.Pos.Filename, fileSub) && strings.Contains(d.Msg, msgSub) {
+			return true
+		}
+	}
+	return false
+}
+
+// semCount counts findings for rule within files containing fileSub.
+func semCount(diags []Diag, rule, fileSub string) int {
+	n := 0
+	for _, d := range diags {
+		if d.Rule == rule && strings.Contains(d.Pos.Filename, fileSub) {
+			n++
+		}
+	}
+	return n
+}
+
+func TestSemAtomicDiscipline(t *testing.T) {
+	m := loadFixture(t, "semmod")
+	diags := m.Semantic(nil)
+	for _, want := range []string{"n is accessed via sync/atomic", "hits is accessed via sync/atomic"} {
+		if !semHas(diags, RuleAtomic, "atomicbad", want) {
+			t.Errorf("missing atomic-discipline finding %q in:\n%s", want, dump(diags))
+		}
+	}
+	// Three plain accesses in Broken; init store, composite literal, and
+	// the waived read must stay clean.
+	if got := semCount(diags, RuleAtomic, "atomicbad"); got != 3 {
+		t.Errorf("atomic-discipline findings = %d, want 3:\n%s", got, dump(diags))
+	}
+	if semHas(diags, RuleAtomic, "atomicbad", "global") {
+		t.Errorf("init store to global must not fire:\n%s", dump(diags))
+	}
+}
+
+func TestSemMemoKeyPurity(t *testing.T) {
+	m := loadFixture(t, "semmod")
+	diags := m.Semantic(nil)
+	for _, want := range []string{
+		"Options.Hook is a func",
+		"Options.Done is a channel",
+		"Options.Tags is a slice",
+		"Options.Ob points at obs.Observer",
+		"Options.Inj points at fault.Injector",
+		"Options.Nested.Cb is a func",
+	} {
+		if !semHas(diags, RuleMemoKey, "sim/sim.go", want) {
+			t.Errorf("missing memo-key-purity finding %q in:\n%s", want, dump(diags))
+		}
+	}
+	if semHas(diags, RuleMemoKey, "sim/sim.go", "Allowed") {
+		t.Errorf("suppressed field Allowed must not fire:\n%s", dump(diags))
+	}
+	if got := semCount(diags, RuleMemoKey, "sim/sim.go"); got != 6 {
+		t.Errorf("memo-key-purity findings = %d, want 6:\n%s", got, dump(diags))
+	}
+}
+
+func TestSemErrorDiscipline(t *testing.T) {
+	m := loadFixture(t, "semmod")
+	diags := m.Semantic(nil)
+	if got := semCount(diags, RuleErr, "errdrop"); got != 3 {
+		t.Errorf("error-discipline findings = %d, want 3 (plain, go, defer):\n%s", got, dump(diags))
+	}
+	if !semHas(diags, RuleErr, "errdrop", "go ") || !semHas(diags, RuleErr, "errdrop", "defer ") {
+		t.Errorf("go/defer variants missing:\n%s", dump(diags))
+	}
+	// Clean: handled, `_ =`-waived, and directive-suppressed calls. The
+	// three findings must all be inside Fire (lines 9-11).
+	for _, d := range diags {
+		if d.Rule == RuleErr && strings.Contains(d.Pos.Filename, "errdrop") && d.Pos.Line > 12 {
+			t.Errorf("unexpected error-discipline finding outside Fire: %s", d)
+		}
+	}
+}
+
+func TestSemUnitSafety(t *testing.T) {
+	m := loadFixture(t, "semmod")
+	diags := m.Semantic(nil)
+	for _, want := range []string{
+		"bare literal 13750 declared as config.Time",
+		"bare literal 250 assigned to a config.Time",
+		"direct Time(Cycles) conversion",
+		"bare literal 500 > a config.Time",
+		"bare literal 250 fills a config.Time field",
+		"bare literal 125 returned as config.Time",
+	} {
+		if !semHas(diags, RuleUnits, "dram", want) {
+			t.Errorf("missing unit-safety finding %q in:\n%s", want, dump(diags))
+		}
+	}
+	if got := semCount(diags, RuleUnits, "dram"); got != 6 {
+		t.Errorf("unit-safety findings = %d, want 6:\n%s", got, dump(diags))
+	}
+	if semHas(diags, RuleUnits, "dram", "Cycles(Time)") {
+		t.Errorf("suppressed Cycles(Time) conversion in Waived must not fire:\n%s", dump(diags))
+	}
+}
+
+func TestSemAttrRegistration(t *testing.T) {
+	m := loadFixture(t, "semmod")
+	diags := m.Semantic(nil)
+	for _, want := range []string{
+		"component CGamma is never attributed",
+		"covers 2 of 4 components",
+		"Access field Extra is outside the Comp array",
+	} {
+		if !semHas(diags, RuleAttrReg, "attr", want) {
+			t.Errorf("missing attr-registration finding %q in:\n%s", want, dump(diags))
+		}
+	}
+	if semHas(diags, RuleAttrReg, "attr", "CDelta") {
+		t.Errorf("suppressed component CDelta must not fire:\n%s", dump(diags))
+	}
+	if semHas(diags, RuleAttrReg, "attr", "CAlpha") || semHas(diags, RuleAttrReg, "attr", "CBeta") {
+		t.Errorf("attributed components must not fire:\n%s", dump(diags))
+	}
+}
+
+// TestSemRuleFilter verifies the enabled callback gates each rule family.
+func TestSemRuleFilter(t *testing.T) {
+	m := loadFixture(t, "semmod")
+	only := func(rule string) func(string) bool {
+		return func(r string) bool { return r == rule }
+	}
+	for _, rule := range []string{RuleAtomic, RuleMemoKey, RuleErr, RuleUnits, RuleAttrReg} {
+		for _, d := range m.Semantic(only(rule)) {
+			if d.Rule != rule {
+				t.Errorf("Semantic(only %s) produced %s", rule, d)
+			}
+		}
+		if len(m.Semantic(only(rule))) == 0 {
+			t.Errorf("Semantic(only %s) found nothing; fixture should trip every rule", rule)
+		}
+	}
+}
+
+// TestSemDegradation checks the contract for packages that fail to
+// type-check: a warning is recorded, semantic rules skip the package,
+// healthy siblings still get semantic findings, and the AST rules still
+// fire on the broken package's parseable source.
+func TestSemDegradation(t *testing.T) {
+	m := loadFixture(t, "brokenmod")
+	bad := m.Lookup("broken/internal/bad")
+	if bad == nil || bad.Err == nil {
+		t.Fatalf("broken/internal/bad should be loaded with a type-check error, got %+v", bad)
+	}
+	found := false
+	for _, w := range m.Warnings {
+		if strings.Contains(w, "broken/internal/bad") && strings.Contains(w, "AST rules still apply") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no degradation warning for broken/internal/bad in %q", m.Warnings)
+	}
+	diags := m.Semantic(nil)
+	if n := semCount(diags, RuleAtomic, "bad/bad.go"); n != 0 {
+		t.Errorf("semantic rules must skip the degraded package, got %d findings", n)
+	}
+	if !semHas(diags, RuleAtomic, "good/good.go", "n is accessed via sync/atomic") {
+		t.Errorf("healthy sibling lost its semantic finding:\n%s", dump(diags))
+	}
+	ast := m.ASTDiags()
+	if !semHas(ast, RuleRand, "bad/bad.go", "rand.Intn") {
+		t.Errorf("AST rules must survive degradation, got:\n%s", dump(ast))
+	}
+}
+
+// TestSemLiveTreeClean pins the acceptance criterion that the repo's own
+// module has no semantic findings (violations are either fixed or carry a
+// reasoned //tmcclint:allow).
+func TestSemLiveTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module type-check is slow; skipped with -short")
+	}
+	m, err := LoadModuleCached("../..", nil)
+	if err != nil {
+		t.Fatalf("loading live module: %v", err)
+	}
+	if len(m.Warnings) != 0 {
+		t.Errorf("live tree should type-check everywhere, warnings: %q", m.Warnings)
+	}
+	if diags := m.Semantic(nil); len(diags) != 0 {
+		t.Errorf("live tree has semantic findings:\n%s", dump(diags))
+	}
+}
+
+func dump(diags []Diag) string {
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

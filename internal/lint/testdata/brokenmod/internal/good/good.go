@@ -1,0 +1,16 @@
+// Package good type-checks fine; the degradation test asserts its
+// semantic findings still surface while the sibling package bad degrades.
+package good
+
+import "sync/atomic"
+
+// Counter mixes atomic and plain access.
+type Counter struct {
+	n uint64
+}
+
+// Mix fires atomic-discipline even though a sibling package degraded.
+func (c *Counter) Mix() uint64 {
+	atomic.AddUint64(&c.n, 1)
+	return c.n
+}

@@ -1,0 +1,43 @@
+// Package atomicbad exercises atomic-discipline: fields touched by
+// sync/atomic must never be accessed plainly outside init.
+package atomicbad
+
+import "sync/atomic"
+
+// Counter mixes atomic and plain access to its fields.
+type Counter struct {
+	n    uint64
+	hits uint64
+}
+
+var global uint64
+
+func init() {
+	global = 1 // clean: init runs before any concurrency
+}
+
+// Bump is the sanctioned atomic path.
+func (c *Counter) Bump() {
+	atomic.AddUint64(&c.n, 1)
+	atomic.AddUint64(&c.hits, 1)
+	atomic.AddUint64(&global, 1)
+}
+
+// Broken reads and writes the same fields plainly.
+func (c *Counter) Broken() uint64 {
+	c.n++          // fires: plain write
+	v := c.hits    // fires: plain read
+	return v + c.n // fires: plain read
+}
+
+// Fresh builds a counter; composite-literal keys are initialization, not
+// racing access.
+func Fresh() *Counter {
+	return &Counter{n: 0, hits: 0}
+}
+
+// Waived is a suppressed plain read.
+func (c *Counter) Waived() uint64 {
+	//tmcclint:allow atomic-discipline (fixture: proves suppression works)
+	return c.n
+}

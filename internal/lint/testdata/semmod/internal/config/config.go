@@ -1,0 +1,30 @@
+// Package config is the fixture twin of the real internal/config: it
+// defines the two time units and the sanctioned conversions between them.
+// It is exempt from unit-safety by package path.
+package config
+
+// Time is a duration in picoseconds.
+type Time int64
+
+// Picos is the declaration-site alias for Time.
+type Picos = Time
+
+// Cycles counts CPU clock cycles.
+type Cycles int64
+
+// Common units.
+const (
+	Picosecond Time = 1
+	Nanosecond Time = 1000
+)
+
+// Dur converts a cycle count into time given one cycle's duration.
+func (n Cycles) Dur(cycle Time) Time { return Time(n) * cycle }
+
+// CyclesIn reports how many whole cycles fit in t.
+func CyclesIn(t, cycle Time) Cycles {
+	if cycle <= 0 {
+		return 0
+	}
+	return Cycles(t / cycle)
+}

@@ -1,0 +1,40 @@
+// Package dram exercises unit-safety: it sits in one of the scoped
+// timing-critical trees, so bare literals in Time positions and unscaled
+// Time<->Cycles conversions fire.
+package dram
+
+import "fix/internal/config"
+
+// Model exposes a Time field for the composite-literal context.
+type Model struct {
+	T config.Time
+}
+
+// Bad collects the flagged forms.
+func Bad(c config.Cycles) config.Time {
+	var t config.Time = 13750 // fires: bare literal declared as Time
+	t = 250                   // fires: bare literal assigned to Time
+	u := config.Time(c)       // fires: Cycles->Time without scaling
+	if t > 500 {              // fires: bare literal compared to Time
+		t += u
+	}
+	m := Model{T: 250} // fires: bare literal fills a Time field
+	_ = m
+	return 125 // fires: bare literal returned as Time
+}
+
+// Waived is the suppressed conversion.
+func Waived(t config.Time) config.Cycles {
+	//tmcclint:allow unit-safety (fixture: proves suppression works)
+	return config.Cycles(t)
+}
+
+// Clean shows the sanctioned idioms.
+func Clean(c config.Cycles, cycle config.Time) config.Time {
+	var t config.Time // clean: zero value needs no unit
+	t = 0
+	t += 5 * config.Nanosecond // clean: multiplicative scaling idiom
+	t += c.Dur(cycle)          // clean: sanctioned Cycles->Time
+	n := config.CyclesIn(t, cycle)
+	return n.Dur(cycle)
+}

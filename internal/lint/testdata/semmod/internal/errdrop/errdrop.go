@@ -1,0 +1,23 @@
+// Package errdrop exercises error-discipline: calls into internal/
+// packages whose error result is silently discarded.
+package errdrop
+
+import "fix/internal/sim"
+
+// Fire drops the error in all three flagged statement positions.
+func Fire(o sim.Options) {
+	sim.Run(o)       // fires: expression statement
+	go sim.Run(o)    // fires: go statement
+	defer sim.Run(o) // fires: defer statement
+}
+
+// Clean handles or explicitly waives every error.
+func Clean(o sim.Options) error {
+	if err := sim.Run(o); err != nil {
+		return err
+	}
+	_ = sim.Run(o) // clean: explicit waiver
+	//tmcclint:allow error-discipline (fixture: proves suppression works)
+	sim.Run(o)
+	return nil
+}

@@ -1,0 +1,7 @@
+// Package fault is the fixture twin of the real fault-injection package.
+package fault
+
+// Injector is the type memo-key-purity must keep out of the key.
+type Injector struct {
+	Seed int64
+}

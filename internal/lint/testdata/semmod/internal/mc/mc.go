@@ -1,0 +1,16 @@
+// Package mc attributes time to the alpha and beta components, making
+// them "registered" for the attr-registration fixture; gamma is
+// deliberately left unattributed.
+package mc
+
+import (
+	"fix/internal/config"
+	"fix/internal/obs/attr"
+)
+
+// Attribute credits d to the registered components.
+func Attribute(a *attr.Access, d config.Picos) {
+	a.Comp[attr.CAlpha] += d
+	a.Comp[attr.CBeta] += d
+	a.Total += d
+}

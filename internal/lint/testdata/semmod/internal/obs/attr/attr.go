@@ -1,0 +1,32 @@
+// Package attr exercises attr-registration: the Component enum, the name
+// table, and the Access scratch must stay mutually registered.
+package attr
+
+import "fix/internal/config"
+
+// Component is the fixture enum.
+type Component int
+
+const (
+	CAlpha Component = iota // clean: attributed by fix/internal/mc
+	CBeta                   // clean: attributed by fix/internal/mc
+	CGamma                  // fires: never attributed outside attr
+	//tmcclint:allow attr-registration (fixture: proves suppression works)
+	CDelta
+	NumComponents
+)
+
+var componentNames = [NumComponents]string{ // fires: names 2 of 4
+	"alpha", "beta",
+}
+
+// Access is the fixture scratch; Extra escapes the conservation audit.
+type Access struct {
+	Class int
+	Total config.Time
+	Comp  [NumComponents]config.Picos
+	Extra config.Time // fires: outside the Comp array
+}
+
+// Name returns the component label.
+func (c Component) Name() string { return componentNames[c] }

@@ -1,0 +1,7 @@
+// Package obs is the fixture twin of the real observability package.
+package obs
+
+// Observer is the type memo-key-purity must keep out of the key.
+type Observer struct {
+	Name string
+}

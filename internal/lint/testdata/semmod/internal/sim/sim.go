@@ -1,0 +1,34 @@
+// Package sim is the fixture memo-key root: its import path ends in
+// internal/sim, so the Options type below is walked by memo-key-purity.
+package sim
+
+import (
+	"fix/internal/fault"
+	"fix/internal/obs"
+)
+
+// Sub nests inside Options to prove the field walker recurses.
+type Sub struct {
+	Depth int
+	Cb    func() // fires: func field reached through nesting
+	//tmcclint:allow memo-key-purity (fixture: proves suppression works)
+	Allowed func()
+}
+
+// Options is the fixture memo key.
+type Options struct {
+	Bench  string
+	Warm   int
+	Hook   func() int      // fires: func field
+	Done   chan struct{}   // fires: channel field
+	Tags   []string        // fires: uncomparable slice
+	Ob     *obs.Observer   // fires: observer state
+	Inj    *fault.Injector // fires: fault-injector state
+	Nested Sub
+}
+
+// Run returns an error so internal/errdrop can drop it.
+func Run(o Options) error {
+	_ = o
+	return nil
+}

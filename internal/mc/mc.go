@@ -164,9 +164,10 @@ type MC struct {
 	pressure pressureState
 	capErr   *CapacityError
 
-	// Migration staging buffer (Section VI): busy-until times of the eight
-	// 4KB entries; a demand ML2 read stalls while all are busy.
-	migBuf []config.Time
+	// Migration staging buffer (Section VI): busy-until timestamps (in
+	// picoseconds) of the eight 4KB entries; a demand ML2 read stalls
+	// while all are busy.
+	migBuf []config.Picos
 
 	// Figure 2's shadow victim structure (stats only).
 	shadow    *cache.Cache
@@ -333,7 +334,7 @@ func New(cfg Config) (*MC, error) {
 		m.ml1 = freelist.NewML1(chunks)
 		m.ml2 = freelist.NewML2(nil, m.ml1)
 		m.rec = recency.New()
-		m.migBuf = make([]config.Time, cfg.Sys.Comp.MigrationBufPages)
+		m.migBuf = make([]config.Picos, cfg.Sys.Comp.MigrationBufPages)
 		// The paper's watermarks (4000/3000 chunks) fit 100GB machines;
 		// scale them down with the budget so small runs keep the same
 		// relative slack.
@@ -818,7 +819,13 @@ func (m *MC) serveML2(now config.Time, st *pageState, ppn uint64, blockOff int, 
 		// No room: serve from ML2 without migrating.
 		return respond
 	}
-	m.ml2.Free(st.sub, size)
+	if err := m.ml2.Free(st.sub, size); err != nil {
+		// The sub-block allocation record disagrees with the page state:
+		// ML2 capacity accounting is corrupt and every later placement
+		// decision would be wrong, so this is a simulator bug, not a
+		// recoverable condition.
+		panic(fmt.Sprintf("mc: freeing ML2 sub-blocks for ppn %#x: %v", ppn, err))
+	}
 	st.inML2 = false
 	st.chunk = chunk
 	if quarantine {

@@ -35,7 +35,7 @@ func (r *Runner) Run() (Metrics, error) {
 	r.sob.tr.Emit(obs.CatPhase, "measure", 0, start, end)
 
 	r.m.Elapsed = end - start
-	r.m.Cycles = uint64(r.m.Elapsed / r.cycle)
+	r.m.Cycles = uint64(config.CyclesIn(r.m.Elapsed, r.cycle))
 	r.m.MC = r.mcc.StatsSnapshot()
 	r.m.Used = r.mcc.UsedPages()
 	d := r.mcc.DRAM()
@@ -198,9 +198,9 @@ func (r *Runner) walk(c *core, t config.Time, vpn uint64) config.Time {
 // memAccess sends one 64B access through L1/L2/L3/MC and returns when the
 // data is available to the requester.
 func (r *Runner) memAccess(c *core, t config.Time, block uint64, write, isPTB, walkRelated bool) config.Time {
-	l1Lat := config.Time(r.sys.Cache.L1Cycles) * r.cycle
-	l2Lat := l1Lat + config.Time(r.sys.Cache.L2Cycles)*r.cycle
-	l3Lat := l2Lat + config.Time(r.sys.Cache.L3Cycles)*r.cycle
+	l1Lat := r.sys.Cache.L1Cycles.Dur(r.cycle)
+	l2Lat := l1Lat + r.sys.Cache.L2Cycles.Dur(r.cycle)
+	l3Lat := l2Lat + r.sys.Cache.L3Cycles.Dur(r.cycle)
 
 	if !isPTB {
 		if c.l1.Access(block) {
