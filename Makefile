@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint test race debug fuzz-smoke fmt bench engine-smoke obs-smoke breakdown-smoke chaos-smoke
+.PHONY: all build lint test race debug fuzz-smoke fmt bench core-bench-smoke engine-smoke obs-smoke breakdown-smoke chaos-smoke
 
 all: lint test
 
@@ -48,6 +48,23 @@ fmt:
 BENCHTIME ?= 1x
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime $(BENCHTIME) ./...
+
+# core-bench-smoke exercises the batched simulation core's contracts
+# without timing assertions (CI machines are noisy): the per-design
+# access-path microbenchmark compiles and completes, the measured loop is
+# allocation-free, a mid-run capacity error stops within one batch, and
+# the quick suite renders byte-identically at -j 1 and -j 4 — the same
+# guarantee engine-smoke makes, rechecked here so a core change cannot
+# land with a benchmark-only green. BENCH_core.json records the measured
+# numbers for this machine.
+core-bench-smoke:
+	$(GO) test -run '^$$' -bench BenchmarkAccessPath -benchtime 1x ./internal/sim/
+	$(GO) test -run 'TestMeasuredLoopAllocationFree|TestCapacityErrorStopsWithinOneBatch' ./internal/sim/
+	$(GO) build -o /tmp/tmccsim ./cmd/tmccsim
+	/tmp/tmccsim -all -quick -format csv -j 1 > /tmp/tmcc_core_j1.csv
+	/tmp/tmccsim -all -quick -format csv -j 4 > /tmp/tmcc_core_j4.csv
+	diff -u /tmp/tmcc_core_j1.csv /tmp/tmcc_core_j4.csv
+	@echo "core-bench-smoke: access path alloc-free, batch error stop, -j byte-identity"
 
 # engine-smoke proves the -j guarantee end to end: the full quick
 # experiment suite rendered as CSV must be byte-identical with a parallel

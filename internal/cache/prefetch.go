@@ -20,6 +20,13 @@ func NewStride(degree int) *StridePrefetcher {
 // Observe feeds a demand-miss block address and returns the blocks to
 // prefetch (possibly none).
 func (p *StridePrefetcher) Observe(block uint64) []uint64 {
+	return p.ObserveAppend(block, nil)
+}
+
+// ObserveAppend is Observe appending the candidates to out, so a reused
+// caller buffer keeps the demand-miss path allocation-free. out is
+// returned unchanged when there is nothing to prefetch.
+func (p *StridePrefetcher) ObserveAppend(block uint64, out []uint64) []uint64 {
 	d := int64(block) - int64(p.last)
 	if d == p.stride && d != 0 {
 		p.streak++
@@ -29,9 +36,8 @@ func (p *StridePrefetcher) Observe(block uint64) []uint64 {
 	}
 	p.last = block
 	if p.streak < 2 || p.stride == 0 {
-		return nil
+		return out
 	}
-	out := make([]uint64, 0, p.Degree)
 	next := int64(block)
 	for i := 0; i < p.Degree; i++ {
 		next += p.stride

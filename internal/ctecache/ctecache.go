@@ -94,11 +94,12 @@ type BufEntry struct {
 }
 
 // Buffer is the 64-entry CTE Buffer in L2 (~1KB). FIFO replacement: the
-// hardware is a small circular structure.
+// hardware is a small circular structure, so the model matches it with a
+// linear CAM-style scan over the (at most 64) valid entries — no map, no
+// allocation on the simulator's access path.
 type Buffer struct {
 	entries []BufEntry
 	valid   []bool
-	byPPN   map[uint64]int
 	next    int
 	// Observability counters (nil when not observed).
 	obsHit, obsMiss *obs.Counter
@@ -114,30 +115,35 @@ func NewBuffer(n int) *Buffer {
 	return &Buffer{
 		entries: make([]BufEntry, n),
 		valid:   make([]bool, n),
-		byPPN:   make(map[uint64]int, n),
 	}
+}
+
+// find returns the index of the valid entry for ppn, or -1.
+func (b *Buffer) find(ppn uint64) int {
+	for i := range b.entries {
+		if b.valid[i] && b.entries[i].PPN == ppn {
+			return i
+		}
+	}
+	return -1
 }
 
 // Insert records an entry, replacing any existing entry for the same PPN,
 // else the FIFO victim.
 func (b *Buffer) Insert(e BufEntry) {
-	if i, ok := b.byPPN[e.PPN]; ok {
+	if i := b.find(e.PPN); i >= 0 {
 		b.entries[i] = e
 		return
 	}
 	i := b.next
 	b.next = (b.next + 1) % len(b.entries)
-	if b.valid[i] {
-		delete(b.byPPN, b.entries[i].PPN)
-	}
 	b.entries[i] = e
 	b.valid[i] = true
-	b.byPPN[e.PPN] = i
 }
 
 // Lookup fetches the entry for ppn.
 func (b *Buffer) Lookup(ppn uint64) (BufEntry, bool) {
-	if i, ok := b.byPPN[ppn]; ok {
+	if i := b.find(ppn); i >= 0 {
 		b.obsHit.Inc()
 		return b.entries[i], true
 	}
@@ -149,8 +155,8 @@ func (b *Buffer) Lookup(ppn uint64) (BufEntry, bool) {
 // from the MC); reports whether the entry was present and whether its CTE
 // differed (the PTB must then be rewritten).
 func (b *Buffer) Update(ppn uint64, correct uint32) (ptbAddr uint64, present, stale bool) {
-	i, ok := b.byPPN[ppn]
-	if !ok {
+	i := b.find(ppn)
+	if i < 0 {
 		return 0, false, false
 	}
 	e := &b.entries[i]
@@ -161,4 +167,12 @@ func (b *Buffer) Update(ppn uint64, correct uint32) (ptbAddr uint64, present, st
 }
 
 // Len reports valid entries.
-func (b *Buffer) Len() int { return len(b.byPPN) }
+func (b *Buffer) Len() int {
+	n := 0
+	for _, v := range b.valid {
+		if v {
+			n++
+		}
+	}
+	return n
+}

@@ -206,10 +206,14 @@ func (e *Engine) safeExec(opt sim.Options) (m sim.Metrics, err error) {
 	return e.exec(opt)
 }
 
-// SetWorkers resizes the worker pool; n <= 0 selects runtime.GOMAXPROCS(0).
+// SetWorkers resizes the worker pool; n <= 0 selects runtime.GOMAXPROCS(0),
+// and n is capped there too — extra workers on an oversubscribed host only
+// add scheduling and cache-contention overhead (the `-j 4` slower than
+// `-j 1` regression on small containers), never throughput. Results are
+// byte-identical at any width, so the cap is purely a performance guard.
 func (e *Engine) SetWorkers(n int) {
-	if n <= 0 {
-		n = runtime.GOMAXPROCS(0)
+	if max := runtime.GOMAXPROCS(0); n <= 0 || n > max {
+		n = max
 	}
 	e.sem = make(chan struct{}, n)
 }
@@ -274,7 +278,11 @@ func (e *Engine) Run(opt sim.Options) (sim.Metrics, error) {
 		e.mu.Unlock()
 		// Attribute the deduplicated request to its benchmark (registering
 		// lazily: hit paths only exist for benchmarks actually deduped).
-		e.ob.Counter("engine.memo.dedup." + opt.Benchmark).Inc()
+		// Guarded so unobserved engines skip the name concatenation — the
+		// hit path should stay allocation-free.
+		if e.ob != nil {
+			e.ob.Counter("engine.memo.dedup." + opt.Benchmark).Inc()
+		}
 		<-c.done
 		return c.m, c.err
 	}
@@ -348,6 +356,25 @@ func (e *Engine) Run(opt sim.Options) (sim.Metrics, error) {
 // job's, by index.
 func (e *Engine) RunAll(jobs []sim.Options) ([]sim.Metrics, error) {
 	ms := make([]sim.Metrics, len(jobs))
+	if cap(e.sem) == 1 || len(jobs) == 1 {
+		// Serial fast path: with one worker (or one job) the pool cannot
+		// overlap anything, so spawning a goroutine and WaitGroup per job
+		// only buys scheduler overhead. Execute inline on the caller —
+		// every job still runs even after a failure, exactly like the
+		// pooled path, so execution counts and memo population match.
+		var firstErr error
+		for i := range jobs {
+			m, err := e.Run(jobs[i])
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			ms[i] = m
+		}
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		return ms, nil
+	}
 	errs := make([]error, len(jobs))
 	var wg sync.WaitGroup
 	for i := range jobs {
@@ -374,6 +401,14 @@ func (e *Engine) RunAll(jobs []sim.Options) ([]sim.Metrics, error) {
 // holds a worker slot for its whole duration, so nesting can deadlock the
 // pool.
 func (e *Engine) Map(n int, f func(i int)) {
+	if cap(e.sem) == 1 || n == 1 {
+		// Serial fast path, mirroring RunAll: no goroutines, no semaphore
+		// churn when nothing can overlap.
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		wg.Add(1)

@@ -15,7 +15,9 @@ func (m *ML2) auditSuper(ci, si int) error {
 	}
 	cl := m.classes[ci]
 	sup := m.supers[ci][si]
-	if sup.chunks == nil {
+	if len(sup.chunks) == 0 {
+		// Retired (fully freed) super-chunk awaiting recycling; its slices
+		// keep their capacity but hold nothing.
 		if sup.used != 0 || len(sup.freeSlot) != 0 {
 			return fmt.Errorf("class %d super %d: retired but used=%d free=%d",
 				ci, si, sup.used, len(sup.freeSlot))
@@ -63,7 +65,7 @@ func (m *ML2) Audit() error {
 			inPartial[si] = true
 		}
 		for si, sup := range m.supers[ci] {
-			if sup.chunks == nil {
+			if len(sup.chunks) == 0 {
 				// Retired (fully freed) super-chunk.
 				if sup.used != 0 || len(sup.freeSlot) != 0 {
 					return fmt.Errorf("class %d super %d: retired but used=%d free=%d",

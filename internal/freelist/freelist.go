@@ -118,6 +118,12 @@ type ML2 struct {
 	// recently-freed-into supers fill first (paper: allocate from the top,
 	// push newly-partial supers to the top).
 	partial [][]int
+	// retired[class] lists fully-freed super-chunk indexes whose structs
+	// (and slice capacity) can be recycled by the next carve, keeping
+	// steady-state Alloc/Free allocation-free. Index values are pure
+	// bookkeeping — DRAM addresses come from chunk numbers — so reuse
+	// does not change simulated behavior.
+	retired [][]int
 
 	// UsedBytes tracks live compressed bytes for capacity accounting.
 	UsedBytes int64
@@ -135,6 +141,7 @@ func NewML2(classes []SizeClass, ml1 *ML1) *ML2 {
 		ml1:     ml1,
 		supers:  make([][]*superChunk, len(classes)),
 		partial: make([][]int, len(classes)),
+		retired: make([][]int, len(classes)),
 	}
 }
 
@@ -163,24 +170,44 @@ func (m *ML2) Alloc(size int) (SubChunk, bool) {
 	}
 	cl := m.classes[ci]
 	if len(m.partial[ci]) == 0 {
-		// Carve a new super-chunk from ML1.
-		chunks := make([]uint32, 0, cl.M)
+		// Carve a new super-chunk from ML1. The pops commit only on
+		// success: if ML1 runs dry mid-carve the popped chunks go back in
+		// pop order (preserving the historical LIFO reshuffle on failure).
+		var tmp [8]uint32
+		buf := tmp[:0]
+		if cl.M > len(tmp) {
+			buf = make([]uint32, 0, cl.M)
+		}
 		for i := 0; i < cl.M; i++ {
-			c, ok := m.ml1.Pop()
-			if !ok {
-				for _, cc := range chunks {
+			c, popped := m.ml1.Pop()
+			if !popped {
+				for _, cc := range buf {
 					m.ml1.Push(cc)
 				}
 				return SubChunk{}, false
 			}
-			chunks = append(chunks, c)
+			buf = append(buf, c)
 		}
-		sc := &superChunk{chunks: chunks}
+		var sc *superChunk
+		var si int
+		if nr := len(m.retired[ci]); nr > 0 {
+			// Recycle a fully-freed super-chunk's struct and slice
+			// capacity instead of growing m.supers.
+			si = m.retired[ci][nr-1]
+			m.retired[ci] = m.retired[ci][:nr-1]
+			sc = m.supers[ci][si]
+			sc.chunks = append(sc.chunks[:0], buf...)
+			sc.freeSlot = sc.freeSlot[:0]
+		} else {
+			sc = &superChunk{chunks: make([]uint32, 0, cl.M)}
+			sc.chunks = append(sc.chunks, buf...)
+			m.supers[ci] = append(m.supers[ci], sc)
+			si = len(m.supers[ci]) - 1
+		}
 		for s := cl.N - 1; s >= 0; s-- {
 			sc.freeSlot = append(sc.freeSlot, s)
 		}
-		m.supers[ci] = append(m.supers[ci], sc)
-		m.partial[ci] = append(m.partial[ci], len(m.supers[ci])-1)
+		m.partial[ci] = append(m.partial[ci], si)
 		m.HeldChunks += cl.M
 	}
 	si := m.partial[ci][len(m.partial[ci])-1]
@@ -221,8 +248,9 @@ func (m *ML2) Free(sc SubChunk, size int) error {
 			m.ml1.Push(c)
 		}
 		m.HeldChunks -= cl.M
-		sup.freeSlot = nil
-		sup.chunks = nil
+		sup.freeSlot = sup.freeSlot[:0]
+		sup.chunks = sup.chunks[:0]
+		m.retired[sc.Class] = append(m.retired[sc.Class], sc.Super)
 		// Remove from partial list if present.
 		for i, si := range m.partial[sc.Class] {
 			if si == sc.Super {
@@ -264,10 +292,16 @@ func (m *ML2) Address(sc SubChunk) uint64 {
 // bytes of this sub-chunk, following the super-chunk's chunk chain across
 // 4KB boundaries (the chunks of a super-chunk need not be contiguous).
 func (m *ML2) BlockAddresses(sc SubChunk, size int) []uint64 {
+	return m.AppendBlockAddresses(nil, sc, size)
+}
+
+// AppendBlockAddresses is BlockAddresses appending into out[:0], so a
+// reused scratch buffer keeps the MC's serve/evict paths allocation-free.
+func (m *ML2) AppendBlockAddresses(out []uint64, sc SubChunk, size int) []uint64 {
 	sup := m.supers[sc.Class][sc.Super]
 	cl := m.classes[sc.Class]
 	off := sc.Slot * cl.SubSize
-	var out []uint64
+	out = out[:0]
 	for b := off / config.BlockSize * config.BlockSize; b < off+size; b += config.BlockSize {
 		ci := b / ChunkSize
 		if ci >= len(sup.chunks) {

@@ -121,6 +121,33 @@ func TestSemUnitSafety(t *testing.T) {
 	}
 }
 
+// TestSemUnitSafetyBatchScratch covers the batched-core scratch shapes:
+// Time lanes inside fixed-size batch arrays and reusable arena windows
+// are unit-bearing positions; uint64 lanes, zero resets, and scaled
+// appends stay clean.
+func TestSemUnitSafetyBatchScratch(t *testing.T) {
+	m := loadFixture(t, "semmod")
+	diags := m.Semantic(nil)
+	for _, want := range []string{
+		"bare literal 13750 assigned to a config.Time",
+		"bare literal 250 assigned to a config.Time",
+		"bare literal 125 fills a config.Time element",
+		"bare literal 500 > a config.Time",
+	} {
+		if !semHas(diags, RuleUnits, "sim/batch.go", want) {
+			t.Errorf("missing unit-safety finding %q in:\n%s", want, dump(diags))
+		}
+	}
+	if got := semCount(diags, RuleUnits, "sim/batch.go"); got != 4 {
+		t.Errorf("unit-safety findings in batch.go = %d, want 4:\n%s", got, dump(diags))
+	}
+	for _, d := range diags {
+		if d.Rule == RuleUnits && strings.Contains(d.Pos.Filename, "sim/batch.go") && strings.Contains(d.Msg, "4096") {
+			t.Errorf("uint64 batch lane must not fire: %s", d)
+		}
+	}
+}
+
 func TestSemAttrRegistration(t *testing.T) {
 	m := loadFixture(t, "semmod")
 	diags := m.Semantic(nil)

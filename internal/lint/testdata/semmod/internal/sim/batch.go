@@ -1,0 +1,49 @@
+// batch.go exercises unit-safety over batched-core scratch types: the
+// per-core access batch and the reusable Time windows a runner arena
+// holds are still Time-typed positions, so bare literals stored into
+// their elements fire exactly like plain Time variables.
+package sim
+
+import "fix/internal/config"
+
+const batchSize = 4
+
+// accessBatch mirrors a per-core pre-generated batch: parallel arrays
+// where only the issue-time lane is unit-bearing.
+type accessBatch struct {
+	vaddr [batchSize]uint64
+	ready [batchSize]config.Time
+}
+
+// arena mirrors a per-runner scratch pool with a reusable Time window.
+type arena struct {
+	win []config.Time
+}
+
+// BadScratch collects the flagged forms on batch/arena storage.
+func BadScratch(b *accessBatch, a *arena) {
+	b.ready[1] = 13750                       // fires: bare literal into a Time array element
+	a.win[0] = 250                           // fires: bare literal into a Time slice element
+	deadlines := [batchSize]config.Time{125} // fires: literal fills a Time element
+	if b.ready[0] > 500 {                    // fires: bare literal compared to a Time element
+		b.ready[0] = deadlines[0]
+	}
+	b.vaddr[2] = 4096 // clean: uint64 lane carries no unit
+}
+
+// WaivedScratch proves suppression works on scratch stores too.
+func WaivedScratch(a *arena) {
+	//tmcclint:allow unit-safety (fixture: proves suppression works)
+	a.win[1] = 250
+}
+
+// CleanScratch shows the sanctioned idioms: zero resets need no unit,
+// scaled literals and propagated Times are fine.
+func CleanScratch(b *accessBatch, a *arena, cycle config.Time) {
+	for i := range b.ready {
+		b.ready[i] = 0 // clean: zero reset
+	}
+	a.win = a.win[:0]
+	a.win = append(a.win, 5*config.Nanosecond) // clean: scaling idiom
+	b.ready[0] = cycle                         // clean: Time from a Time
+}

@@ -169,6 +169,16 @@ type MC struct {
 	// while all are busy.
 	migBuf []config.Picos
 
+	// Reusable hot-path scratch, so the measured access loop allocates
+	// nothing: queue-slot windows for serveML2 and evictOne (separate
+	// pairs — evictOne runs nested inside serveML2's migration), and the
+	// ML2 block-address lists each streams through. Sized on first use,
+	// then reused for the life of the controller.
+	svRWin, svWWin []config.Time
+	evRWin, evWWin []config.Time
+	svBlocks       []uint64
+	evBlocks       []uint64
+
 	// Figure 2's shadow victim structure (stats only).
 	shadow    *cache.Cache
 	shadowPPB uint64
@@ -333,7 +343,9 @@ func New(cfg Config) (*MC, error) {
 		}
 		m.ml1 = freelist.NewML1(chunks)
 		m.ml2 = freelist.NewML2(nil, m.ml1)
-		m.rec = recency.New()
+		// Pre-size the Recency List for the whole OS pool so its dense
+		// next/prev directory never grows during simulation.
+		m.rec = recency.NewSized(int(cfg.OSPages))
 		m.migBuf = make([]config.Picos, cfg.Sys.Comp.MigrationBufPages)
 		// The paper's watermarks (4000/3000 chunks) fit 100GB machines;
 		// scale them down with the budget so small runs keep the same
@@ -755,7 +767,8 @@ func (m *MC) serveML2(now config.Time, st *pageState, ppn uint64, blockOff int, 
 	}
 
 	size, _ := m.cfg.Sizes.PageSizes(ppn)
-	blocks := m.ml2.BlockAddresses(st.sub, size)
+	m.svBlocks = m.ml2.AppendBlockAddresses(m.svBlocks[:0], st.sub, size)
+	blocks := m.svBlocks
 	// Issue the compressed-page reads while holding at most MaxQueueSlots
 	// MC queue slots at a time (Section VI): read i may issue once read
 	// i-slots has completed, keeping `slots` reads outstanding.
@@ -763,7 +776,8 @@ func (m *MC) serveML2(now config.Time, st *pageState, ppn uint64, blockOff int, 
 	if slots <= 0 {
 		slots = len(blocks)
 	}
-	window := make([]config.Time, slots)
+	m.svRWin = timeWindow(m.svRWin, slots)
+	window := m.svRWin
 	var last config.Time
 	for i, a := range blocks {
 		issue := maxTime(t, window[i%slots])
@@ -837,7 +851,8 @@ func (m *MC) serveML2(now config.Time, st *pageState, ppn uint64, blockOff int, 
 	m.ob.ml2ToML1.Inc()
 	// The page write-out occupies the staging slot and posts 64 writes,
 	// again holding at most MaxQueueSlots at a time.
-	wwin := make([]config.Time, slots)
+	m.svWWin = timeWindow(m.svWWin, slots)
+	wwin := m.svWWin
 	wt := respond
 	for b := 0; b < 64; b++ {
 		issue := maxTime(respond, wwin[b%slots])
@@ -932,14 +947,17 @@ func (m *MC) evictOne(now config.Time) (config.Time, bool) {
 		if slots <= 0 {
 			slots = 64
 		}
-		rwin := make([]config.Time, slots)
+		m.evRWin = timeWindow(m.evRWin, slots)
+		rwin := m.evRWin
 		for b := 0; b < 64; b++ {
 			rwin[b%slots] = m.dram.Read(maxTime(now, rwin[b%slots]), m.dataAddr(st, b))
 		}
 		t := now + m.cfg.ML2Compress
-		wwin := make([]config.Time, slots)
+		m.evWWin = timeWindow(m.evWWin, slots)
+		wwin := m.evWWin
 		wlast := t
-		for i, a := range m.ml2.BlockAddresses(sub, size) {
+		m.evBlocks = m.ml2.AppendBlockAddresses(m.evBlocks[:0], sub, size)
+		for i, a := range m.evBlocks {
 			wlast = m.dram.Write(maxTime(t, wwin[i%slots]), a)
 			wwin[i%slots] = wlast
 		}
@@ -975,6 +993,20 @@ func (m *MC) dramOp(now config.Time, addr uint64, write bool) config.Time {
 		return m.dram.Write(now, addr)
 	}
 	return m.dram.Read(now, addr)
+}
+
+// timeWindow returns buf resized to n zeroed entries, reusing its backing
+// array when large enough — the queue-slot windows above are rebuilt on
+// every ML2 service without allocating.
+func timeWindow(buf []config.Time, n int) []config.Time {
+	if cap(buf) < n {
+		return make([]config.Time, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
 }
 
 func maxInt(a, b int) int {

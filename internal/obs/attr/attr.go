@@ -141,14 +141,29 @@ func (a *Access) AttributedSum() config.Picos {
 	return s - a.Comp[COverlap]
 }
 
+// classRow is one class's aggregate, padded out to a multiple of the
+// 128-byte span two adjacent cache lines cover: parallel workers recording
+// into different classes of the same group (or different runs of the same
+// benchmark/kind) then contend on distinct lines instead of false-sharing
+// one, which is part of what made `-j 4` lose to `-j 1`.
+type classRow struct {
+	count atomic.Uint64
+	total atomic.Int64
+	comp  [NumComponents]atomic.Int64
+	_     [classRowPad]byte
+}
+
+const (
+	classRowBytes = (2 + int(NumComponents)) * 8
+	classRowPad   = (classRowBytes+127)/128*128 - classRowBytes
+)
+
 // Group aggregates Access records for one (benchmark, MC kind) pair.
 // All fields are atomics: Record is lock-free and commutative, so
 // aggregated totals are independent of execution order and worker
 // count. A nil *Group ignores Record.
 type Group struct {
-	count [NumClasses]atomic.Uint64
-	total [NumClasses]atomic.Int64
-	comp  [NumClasses][NumComponents]atomic.Int64
+	rows [NumClasses]classRow
 }
 
 // Record folds one finished access into the group. Under tmccdebug it
@@ -163,12 +178,12 @@ func (g *Group) Record(a *Access) {
 			"attr: %s access violates conservation: components sum to %d, total %d",
 			a.Class, a.AttributedSum(), a.Total)
 	}
-	cl := a.Class
-	g.count[cl].Add(1)
-	g.total[cl].Add(int64(a.Total))
+	row := &g.rows[a.Class]
+	row.count.Add(1)
+	row.total.Add(int64(a.Total))
 	for c := Component(0); c < NumComponents; c++ {
 		if d := a.Comp[c]; d != 0 {
-			g.comp[cl][c].Add(int64(d))
+			row.comp[c].Add(int64(d))
 		}
 	}
 }
@@ -259,18 +274,19 @@ func (r *Recorder) Snapshot() Snapshot {
 		g := groups[k]
 		gs := GroupSnapshot{Benchmark: k.bench, Kind: k.kind}
 		for cl := Class(0); cl < NumClasses; cl++ {
-			n := g.count[cl].Load()
+			row := &g.rows[cl]
+			n := row.count.Load()
 			if n == 0 {
 				continue
 			}
 			cs := ClassSnapshot{
 				Class:   cl.String(),
 				Count:   n,
-				TotalPS: g.total[cl].Load(),
+				TotalPS: row.total.Load(),
 				CompPS:  make([]int64, NumComponents),
 			}
 			for c := Component(0); c < NumComponents; c++ {
-				cs.CompPS[c] = g.comp[cl][c].Load()
+				cs.CompPS[c] = row.comp[c].Load()
 			}
 			gs.Classes = append(gs.Classes, cs)
 		}

@@ -60,6 +60,7 @@ func MakePTE(ppn uint64, flags uint64) uint64 {
 // node is one 4KB table page.
 type node struct {
 	ppn      uint64
+	idx      int32 // dense creation-order index, for flat per-PTB state
 	ptes     [EntriesPer]uint64
 	children [EntriesPer]*node // nil at level 1
 }
@@ -70,18 +71,37 @@ type Table struct {
 	alloc    func() uint64 // PPN allocator for table pages
 	tablePgs int
 	hugePgs  bool // map at 2MB granularity (Section VIII)
-	byPPN    map[uint64]*node
+	// byPPN is a PPN-indexed directory of table pages (nil entries are
+	// data pages). Table PPNs are drawn from a bounded OS pool, so a
+	// grow-on-demand slice replaces the old map: directory probes on the
+	// walk/repair hot path become one bounds check and one load.
+	byPPN []*node
+	// ppns lists the table pages' PPNs in creation order (the source for
+	// TablePagePPNs, without map iteration).
+	ppns []uint64
 }
 
 // New creates an empty table; alloc hands out PPNs for the table pages
 // themselves (they live in physical memory too). hugePages selects 2MB
 // mappings, which terminate the walk at L2.
 func New(alloc func() uint64, hugePages bool) *Table {
-	t := &Table{alloc: alloc, hugePgs: hugePages, byPPN: make(map[uint64]*node)}
+	t := &Table{alloc: alloc, hugePgs: hugePages}
 	t.root = &node{ppn: alloc()}
-	t.byPPN[t.root.ppn] = t.root
-	t.tablePgs = 1
+	t.addNode(t.root)
 	return t
+}
+
+// addNode registers a freshly allocated table page in the dense directory.
+func (t *Table) addNode(n *node) {
+	n.idx = int32(len(t.ppns))
+	t.ppns = append(t.ppns, n.ppn)
+	if n.ppn >= uint64(len(t.byPPN)) {
+		grown := make([]*node, n.ppn+n.ppn/2+64)
+		copy(grown, t.byPPN)
+		t.byPPN = grown
+	}
+	t.byPPN[n.ppn] = n
+	t.tablePgs++
 }
 
 // TablePages reports how many 4KB pages the table itself occupies.
@@ -117,8 +137,7 @@ func (t *Table) Map(vpn, ppn uint64, flags uint64) {
 			child := &node{ppn: t.alloc()}
 			n.children[i] = child
 			n.ptes[i] = MakePTE(child.ppn, FlagPresent|FlagWrite|FlagUser|FlagAccessed)
-			t.byPPN[child.ppn] = child
-			t.tablePgs++
+			t.addNode(child)
 		}
 		n = n.children[i]
 	}
@@ -146,6 +165,14 @@ type Step struct {
 // Walk performs a full page walk for vpn, returning the steps in walker
 // order and the final data PPN. ok is false for unmapped addresses.
 func (t *Table) Walk(vpn uint64) (steps []Step, ppn uint64, ok bool) {
+	return t.WalkAppend(nil, vpn)
+}
+
+// WalkAppend is Walk with a caller-supplied step buffer: the steps are
+// appended to buf[:0], so a reused buffer with capacity Levels makes the
+// walk allocation-free (the simulator's access loop depends on this).
+func (t *Table) WalkAppend(buf []Step, vpn uint64) (steps []Step, ppn uint64, ok bool) {
+	steps = buf[:0]
 	leaf := t.leafLevel()
 	n := t.root
 	for level := Levels; level >= leaf; level-- {
@@ -218,32 +245,65 @@ func (t *Table) PTBs(fn func(PTB)) {
 // (the table occupies physical memory too; the MC must place and translate
 // those pages like any others).
 func (t *Table) TablePagePPNs() []uint64 {
-	out := make([]uint64, 0, len(t.byPPN))
-	for ppn := range t.byPPN {
-		out = append(out, ppn)
-	}
+	out := make([]uint64, len(t.ppns))
+	copy(out, t.ppns)
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
+}
+
+// PTBSlots reports the size of the dense PTB-slot space: every table page
+// contributes PTBsPerPage consecutive slots in creation order. The table
+// is static once built, so per-PTB simulator state can live in a flat
+// slice indexed by PTBSlot instead of a map keyed by address.
+func (t *Table) PTBSlots() int { return t.tablePgs * PTBsPerPage }
+
+// PTBSlot maps the physical byte address of a PTB (as produced in walk
+// steps) to its dense slot index; ok=false when addr does not fall in a
+// table page.
+func (t *Table) PTBSlot(addr uint64) (int, bool) {
+	ppn := addr >> PageShift
+	if ppn >= uint64(len(t.byPPN)) || t.byPPN[ppn] == nil {
+		return 0, false
+	}
+	return int(t.byPPN[ppn].idx)*PTBsPerPage + int(addr%PageSizeBytes)/PTBSize, true
 }
 
 // PTBByAddr returns the eight raw PTEs of the PTB at the given physical
 // byte address (as produced in walk steps); ok=false if the address does
 // not fall in a table page.
 func (t *Table) PTBByAddr(addr uint64) ([PTEsPerPTB]uint64, bool) {
-	n, ok := t.byPPN[addr>>PageShift]
-	if !ok {
+	ppn := addr >> PageShift
+	if ppn >= uint64(len(t.byPPN)) || t.byPPN[ppn] == nil {
 		return [PTEsPerPTB]uint64{}, false
 	}
+	n := t.byPPN[ppn]
 	b := int(addr%PageSizeBytes) / PTBSize
 	var out [PTEsPerPTB]uint64
 	copy(out[:], n.ptes[b*PTEsPerPTB:(b+1)*PTEsPerPTB])
 	return out, true
 }
 
-// Lookup returns the data PPN for vpn without recording walk steps.
+// Lookup returns the data PPN for vpn without recording walk steps. It
+// descends the radix directly — no step slice, no allocation — because
+// the simulator translates on every access.
 func (t *Table) Lookup(vpn uint64) (uint64, bool) {
-	_, ppn, ok := t.Walk(vpn)
-	return ppn, ok
+	leaf := t.leafLevel()
+	n := t.root
+	for level := Levels; ; level-- {
+		i := index(vpn, level)
+		pte := n.ptes[i]
+		if pte&FlagPresent == 0 {
+			return 0, false
+		}
+		if level == leaf {
+			next := PPN(pte)
+			if t.hugePgs {
+				next = next + vpn%EntriesPer
+			}
+			return next, true
+		}
+		n = n.children[i]
+	}
 }
 
 // MustLookup panics on unmapped vpn; for tests and trace plumbing.

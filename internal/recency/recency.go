@@ -11,24 +11,50 @@
 package recency
 
 // List is an intrusive doubly linked list keyed by physical page number.
+// The next/prev pointers are PPN-indexed slices rather than maps: PPNs
+// come from a bounded OS pool known at build time, so the dense layout
+// turns every link update into two array stores (the hardware analogy —
+// a pointer pair per frame — is also exact). Membership rides in a
+// parallel byte slice.
 type List struct {
-	next map[uint64]uint64
-	prev map[uint64]uint64
-	head uint64
-	tail uint64
+	next []uint32
+	prev []uint32
+	in   []bool
+	head uint32
+	tail uint32
 	n    int
 }
 
-const nilPPN = ^uint64(0)
+const nilPPN = ^uint32(0)
 
-// New returns an empty list.
-func New() *List {
+// New returns an empty list that grows its directory on demand.
+func New() *List { return NewSized(0) }
+
+// NewSized returns an empty list pre-sized for PPNs in [0, capacity), so
+// no directory growth (and no allocation) happens during simulation.
+func NewSized(capacity int) *List {
 	return &List{
-		next: make(map[uint64]uint64),
-		prev: make(map[uint64]uint64),
+		next: make([]uint32, capacity),
+		prev: make([]uint32, capacity),
+		in:   make([]bool, capacity),
 		head: nilPPN,
 		tail: nilPPN,
 	}
+}
+
+// ensure grows the directory to cover ppn (no-op for pre-sized lists).
+func (l *List) ensure(ppn uint64) {
+	if ppn < uint64(len(l.in)) {
+		return
+	}
+	size := ppn + ppn/2 + 64
+	next := make([]uint32, size)
+	copy(next, l.next)
+	prev := make([]uint32, size)
+	copy(prev, l.prev)
+	in := make([]bool, size)
+	copy(in, l.in)
+	l.next, l.prev, l.in = next, prev, in
 }
 
 // Len reports tracked pages.
@@ -36,18 +62,19 @@ func (l *List) Len() int { return l.n }
 
 // Contains reports whether ppn is tracked.
 func (l *List) Contains(ppn uint64) bool {
-	_, ok := l.next[ppn]
-	return ok
+	return ppn < uint64(len(l.in)) && l.in[ppn]
 }
 
 // Touch moves ppn to the hot end, inserting it if absent.
 func (l *List) Touch(ppn uint64) {
 	if l.Contains(ppn) {
-		l.unlink(ppn)
+		l.unlink(uint32(ppn))
 	} else {
+		l.ensure(ppn)
+		l.in[ppn] = true
 		l.n++
 	}
-	l.pushHead(ppn)
+	l.pushHead(uint32(ppn))
 }
 
 // Remove drops ppn from the list (page migrated away or marked
@@ -56,9 +83,8 @@ func (l *List) Remove(ppn uint64) {
 	if !l.Contains(ppn) {
 		return
 	}
-	l.unlink(ppn)
-	delete(l.next, ppn)
-	delete(l.prev, ppn)
+	l.unlink(uint32(ppn))
+	l.in[ppn] = false
 	l.n--
 }
 
@@ -67,7 +93,7 @@ func (l *List) Coldest() (uint64, bool) {
 	if l.tail == nilPPN {
 		return 0, false
 	}
-	return l.tail, true
+	return uint64(l.tail), true
 }
 
 // EvictColdest removes and returns the tail.
@@ -87,18 +113,21 @@ func (l *List) InsertCold(ppn uint64) {
 	if l.Contains(ppn) {
 		return
 	}
+	l.ensure(ppn)
+	l.in[ppn] = true
 	l.n++
+	p := uint32(ppn)
 	if l.tail == nilPPN {
-		l.pushHead(ppn)
+		l.pushHead(p)
 		return
 	}
-	l.next[l.tail] = ppn
-	l.prev[ppn] = l.tail
-	l.next[ppn] = nilPPN
-	l.tail = ppn
+	l.next[l.tail] = p
+	l.prev[p] = l.tail
+	l.next[p] = nilPPN
+	l.tail = p
 }
 
-func (l *List) pushHead(ppn uint64) {
+func (l *List) pushHead(ppn uint32) {
 	l.prev[ppn] = nilPPN
 	l.next[ppn] = l.head
 	if l.head != nilPPN {
@@ -110,7 +139,7 @@ func (l *List) pushHead(ppn uint64) {
 	}
 }
 
-func (l *List) unlink(ppn uint64) {
+func (l *List) unlink(ppn uint32) {
 	p, n := l.prev[ppn], l.next[ppn]
 	if p != nilPPN {
 		l.next[p] = n

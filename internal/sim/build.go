@@ -141,7 +141,6 @@ func NewRunnerInjected(opt Options, ob *obs.Observer, inj *fault.Injector) (*Run
 		mcc:   mcc,
 		inj:   inj,
 		l3:    cache.New(sys.Cache.L3SizeMB*config.MiB, sys.Cache.Assoc*2),
-		ptbs:  make(map[uint64]*ptbState),
 		rng:   rand.New(rand.NewSource(opt.Seed + 77)),
 		cycle: sys.CPU.Cycle(),
 		noc:   sys.DRAM.NoCLatency,
@@ -149,8 +148,28 @@ func NewRunnerInjected(opt Options, ob *obs.Observer, inj *fault.Injector) (*Run
 	r.pcfg = ptbcomp.NewConfig(osPages*config.PageSize, uint64(sys.Comp.DRAMPerMCTB)<<40)
 
 	if opt.Virtualized {
-		buildVirt(r, osPages, opt.Seed)
+		buildVirt(r, osPages, opt.Seed) // fills vpnToPPN/gpaToHost
+	} else {
+		// Dense vpn -> ppn table over the mapped range: the page table is
+		// static after build, so the per-access radix descent collapses to
+		// one load (unmappedPPN marks holes).
+		lo, hi := as.VPNRange()
+		r.vlo = lo
+		r.vpnToPPN = make([]uint64, hi-lo)
+		for i := range r.vpnToPPN {
+			r.vpnToPPN[i] = unmappedPPN
+			if ppn, ok := as.Table.Lookup(lo + uint64(i)); ok {
+				r.vpnToPPN[i] = ppn
+			}
+		}
 	}
+	// Per-PTB hardware state, flat over the (now final) table's PTB slots,
+	// plus the reusable hot-loop scratch (see Runner field docs).
+	r.ptbs = make([]ptbState, r.as.Table.PTBSlots())
+	r.walkBuf = make([]pagetable.Step, 0, pagetable.Levels)
+	r.gwalkBuf = make([]pagetable.Step, 0, pagetable.Levels)
+	r.pfBuf = make([]uint64, 0, 1+sys.Cache.StrideDegreeL2)
+	r.heap = make([]*core, 0, sys.CPU.Cores)
 	vbase := r.traceVBase()
 	for i := 0; i < sys.CPU.Cores; i++ {
 		c := &core{
@@ -236,7 +255,7 @@ func (r *Runner) place(budget uint64, sizes *workload.SizeModel) error {
 
 	if r.opt.Kind == mc.Uncompressed || r.opt.Kind == mc.Compresso {
 		for vpn := lo; vpn < hi; vpn++ {
-			if ppn, ok := r.as.Table.Lookup(vpn); ok {
+			if ppn := r.translate(vpn); ppn != unmappedPPN {
 				r.mcc.Place(ppn, false)
 			}
 		}
@@ -249,8 +268,8 @@ func (r *Runner) place(budget uint64, sizes *workload.SizeModel) error {
 	}
 	order := r.placementOrder(lo, footprint)
 	for i, vpn := range order {
-		ppn, ok := r.as.Table.Lookup(vpn)
-		if !ok {
+		ppn := r.translate(vpn)
+		if ppn == unmappedPPN {
 			continue
 		}
 		r.mcc.Place(ppn, uint64(i) >= ml1Pages)
@@ -264,7 +283,7 @@ func (r *Runner) place(budget uint64, sizes *workload.SizeModel) error {
 	// Seed the Recency List coldest-to-hottest so warmup evictions take
 	// genuinely cold pages, not the hot set; table pages go last (hottest).
 	for i := len(order) - 1; i >= 0; i-- {
-		if ppn, ok := r.as.Table.Lookup(order[i]); ok {
+		if ppn := r.translate(order[i]); ppn != unmappedPPN {
 			r.mcc.TouchPage(ppn)
 		}
 	}
@@ -305,10 +324,11 @@ func (r *Runner) planML1(footprint uint64) (uint64, error) {
 }
 
 // placementOrder lists the footprint's virtual pages hottest-first: the
-// trace's hot clusters, then the leading (warm) remainder.
+// trace's hot clusters, then the leading (warm) remainder. Dedup rides in
+// a dense offset-indexed bitmap (the vpns span exactly [lo, lo+footprint)).
 func (r *Runner) placementOrder(lo, footprint uint64) []uint64 {
-	placed := make(map[uint64]bool, footprint)
-	var order []uint64
+	placed := make([]bool, footprint)
+	order := make([]uint64, 0, footprint)
 	const cluster = 8
 	nClusters := r.spec.HotPages / cluster
 	if nClusters == 0 {
@@ -320,16 +340,16 @@ func (r *Runner) placementOrder(lo, footprint uint64) []uint64 {
 	}
 	for c := uint64(0); c < nClusters; c++ {
 		for j := uint64(0); j < cluster; j++ {
-			vpn := lo + (c*stride+j)%footprint
-			if !placed[vpn] {
-				placed[vpn] = true
-				order = append(order, vpn)
+			off := (c*stride + j) % footprint
+			if !placed[off] {
+				placed[off] = true
+				order = append(order, lo+off)
 			}
 		}
 	}
-	for vpn := lo; vpn < lo+footprint; vpn++ {
-		if !placed[vpn] {
-			order = append(order, vpn)
+	for off := uint64(0); off < footprint; off++ {
+		if !placed[off] {
+			order = append(order, lo+off)
 		}
 	}
 	return order

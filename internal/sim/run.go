@@ -69,33 +69,126 @@ func (r *Runner) resetStats() {
 	}
 }
 
+// runAccesses executes n trace records, batch-paced: the sticky capacity
+// error is checked once per batchSize steps (it only transitions once, so a
+// mid-run exhaustion still stops within one batch), and the core with the
+// earliest clock comes from a binary min-heap instead of a linear scan.
 func (r *Runner) runAccesses(n int) {
-	for i := 0; i < n; i++ {
+	if len(r.cores) == 1 {
+		// Single-core fast path: no interleave to arbitrate.
+		c := r.cores[0]
+		for done := 0; done < n; {
+			if r.mcc.Err() != nil {
+				// Capacity exhausted mid-run: further accesses would use
+				// unreliable placements. Stop here; Run surfaces the error.
+				return
+			}
+			chunk := batchSize
+			if rem := n - done; rem < chunk {
+				chunk = rem
+			}
+			for i := 0; i < chunk; i++ {
+				r.step(c)
+			}
+			done += chunk
+		}
+		return
+	}
+	r.heapInit()
+	for done := 0; done < n; {
 		if r.mcc.Err() != nil {
-			// Capacity exhausted mid-run: further accesses would use
-			// unreliable placements. Stop here; Run surfaces the error.
 			return
 		}
-		// Pick the core with the earliest clock (multi-core interleave).
-		c := r.cores[0]
-		for _, cc := range r.cores[1:] {
-			if cc.time < c.time {
-				c = cc
-			}
+		chunk := batchSize
+		if rem := n - done; rem < chunk {
+			chunk = rem
 		}
-		r.step(c)
+		for i := 0; i < chunk; i++ {
+			c := r.heap[0]
+			r.step(c)
+			// step strictly advances c.time, so re-sinking the root
+			// restores heap order.
+			r.siftDown(0)
+		}
+		done += chunk
 	}
+}
+
+// heapInit (re)builds the issue heap over the cores by (time, id). It runs
+// at the start of every runAccesses because resetStats realigns the clocks
+// between warmup and measurement.
+func (r *Runner) heapInit() {
+	r.heap = append(r.heap[:0], r.cores...)
+	for i := len(r.heap)/2 - 1; i >= 0; i-- {
+		r.siftDown(i)
+	}
+}
+
+// siftDown restores the min-heap property from index i downward.
+func (r *Runner) siftDown(i int) {
+	h := r.heap
+	n := len(h)
+	for {
+		m := i
+		if l := 2*i + 1; l < n && h[l].before(h[m]) {
+			m = l
+		}
+		if rt := 2*i + 2; rt < n && h[rt].before(h[m]) {
+			m = rt
+		}
+		if m == i {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+// refill generates and translates the next batchSize trace records for
+// core c. Each core's RNG stream is private, so running generation ahead
+// of the timing loop reproduces the lazy per-step sequence exactly.
+func (r *Runner) refill(c *core) {
+	b := &c.batch
+	for i := 0; i < batchSize; i++ {
+		a := c.trace.Next()
+		b.vaddr[i] = a.VAddr
+		b.ppn[i] = r.translate(a.VAddr >> 12)
+		b.gap[i] = int32(a.Gap)
+		b.write[i] = a.Write
+		b.dep[i] = a.Dep
+	}
+	b.pos, b.n = 0, batchSize
+}
+
+// translate resolves a trace virtual page to the PPN the MC sees (host
+// -physical under virtualization), or unmappedPPN.
+func (r *Runner) translate(vpn uint64) uint64 {
+	idx := vpn - r.vlo
+	if idx >= uint64(len(r.vpnToPPN)) {
+		return unmappedPPN
+	}
+	return r.vpnToPPN[idx]
 }
 
 // step executes one trace record on core c.
 func (r *Runner) step(c *core) {
-	a := c.trace.Next()
+	if c.batch.pos == c.batch.n {
+		r.refill(c)
+	}
+	i := c.batch.pos
+	c.batch.pos++
+	vaddr := c.batch.vaddr[i]
+	ppn := c.batch.ppn[i]
+	gap := int(c.batch.gap[i])
+	write := c.batch.write[i]
+	dep := c.batch.dep[i]
+
 	// Non-memory instructions retire at the issue width.
-	c.time += config.Time(a.Gap) * r.cycle / config.Time(r.sys.CPU.Width)
+	c.time += config.Time(gap) * r.cycle / config.Time(r.sys.CPU.Width)
 	if r.recording {
-		r.m.Instructions += uint64(a.Gap) + 1
+		r.m.Instructions += uint64(gap) + 1
 		r.m.MemAccesses++
-		if a.Write {
+		if write {
 			r.m.Stores++
 		}
 	}
@@ -108,12 +201,12 @@ func (r *Runner) step(c *core) {
 	}
 	// Dependent accesses (pointer chases, neighbor walks) wait for the
 	// load that produced their address.
-	if a.Dep && c.dep > issue {
+	if dep && c.dep > issue {
 		issue = c.dep
 	}
 
-	vpn := a.VAddr >> 12
-	blockOff := int(a.VAddr>>6) & 63
+	vpn := vaddr >> 12
+	blockOff := int(vaddr>>6) & 63
 	t := issue
 	walkRelated := false
 
@@ -141,14 +234,7 @@ func (r *Runner) step(c *core) {
 		}
 	}
 
-	var ppn uint64
-	var ok bool
-	if r.opt.Virtualized {
-		ppn, ok = r.lookupVirtData(vpn)
-	} else {
-		ppn, ok = r.as.Table.Lookup(vpn)
-	}
-	if !ok {
+	if ppn == unmappedPPN {
 		// Unmapped (should not happen): skip. Drop any pending walk time
 		// so it cannot leak into the next access's breakdown.
 		r.attrWalk = 0
@@ -156,8 +242,8 @@ func (r *Runner) step(c *core) {
 		return
 	}
 	block := ppn*config.BlocksPage + uint64(blockOff)
-	done := r.memAccess(c, t, block, a.Write, false, walkRelated)
-	if a.Dep {
+	done := r.memAccess(c, t, block, write, false, walkRelated)
+	if dep {
 		c.dep = done
 	}
 
@@ -170,11 +256,15 @@ func (r *Runner) step(c *core) {
 	c.time = issue + r.cycle
 }
 
+// Steps runs n accesses outside Run's phase structure; benchmarks drive
+// the measured loop through it.
+func (r *Runner) Steps(n int) { r.runAccesses(n) }
+
 // walk performs the page walk for vpn, fetching PTBs through the hierarchy
 // serially; returns the completion time.
 func (r *Runner) walk(c *core, t config.Time, vpn uint64) config.Time {
 	startLevel := c.wc.WalkStart(vpn)
-	steps, _, ok := r.as.Table.Walk(vpn)
+	steps, _, ok := r.as.Table.WalkAppend(r.walkBuf, vpn)
 	if !ok {
 		return t
 	}
@@ -250,7 +340,11 @@ func (r *Runner) memAccess(c *core, t config.Time, block uint64, write, isPTB, w
 				// request piggybacks, forcing the MC's verify-redo recovery.
 				tr, _ = r.inj.PerturbCTE(tr, r.pcfg.CTEBits)
 			}
-			embedded = &cte.Entry{DRAMPage: tr}
+			// The MC reads the piggybacked entry during Access and does not
+			// retain it, so a per-Runner scratch avoids the escape-to-heap
+			// allocation a composite literal's address would cost here.
+			r.embScratch = cte.Entry{DRAMPage: tr}
+			embedded = &r.embScratch
 		}
 	}
 	res := r.mcc.Access(t, ppn, off, false, embedded, walkRelated)
@@ -391,14 +485,16 @@ func (r *Runner) writeback(block uint64, now config.Time) {
 }
 
 // prefetch runs the L2 next-line and stride prefetchers on a demand miss.
+// Candidates collect in the Runner's reusable buffer (the stride detector
+// must observe the miss stream even while prefetching is off).
 func (r *Runner) prefetch(c *core, now config.Time, block uint64) {
 	if !r.sys.Cache.NextLinePrefetch || !c.throttle.Enabled() {
-		c.stride.Observe(block)
+		r.pfBuf = c.stride.ObserveAppend(block, r.pfBuf[:0])
 		return
 	}
-	cands := []uint64{cache.NextLine(block)}
-	cands = append(cands, c.stride.Observe(block)...)
-	for _, nb := range cands {
+	r.pfBuf = append(r.pfBuf[:0], cache.NextLine(block))
+	r.pfBuf = c.stride.ObserveAppend(block, r.pfBuf)
+	for _, nb := range r.pfBuf {
 		if nb/config.BlocksPage != block/config.BlocksPage {
 			continue // stay within the page: no extra translation
 		}
@@ -444,16 +540,22 @@ func (r *Runner) loadCTEBuffer(c *core, ptbAddr uint64) {
 
 // ptbState lazily builds the hardware view of a PTB: compressibility and
 // (initially empty) embedded-CTE slots. PTBs are compressed when the page
-// walker first pulls them through L2 (Section V-A4).
+// walker first pulls them through L2 (Section V-A4). The states live in a
+// flat slice indexed by the table's dense PTB slots; non-table addresses
+// (which walk steps never produce) fall back to a zeroed spare.
 func (r *Runner) ptbState(ptbAddr uint64) *ptbState {
-	if st, ok := r.ptbs[ptbAddr]; ok {
-		return st
+	slot, ok := r.as.Table.PTBSlot(ptbAddr)
+	if !ok {
+		r.ptbSpare = ptbState{}
+		return &r.ptbSpare
 	}
-	st := &ptbState{}
-	if ptes, ok := r.as.Table.PTBByAddr(ptbAddr); ok {
-		st.compressible = r.pcfg.Compressible(&ptes)
+	st := &r.ptbs[slot]
+	if !st.init {
+		st.init = true
+		if ptes, ok := r.as.Table.PTBByAddr(ptbAddr); ok {
+			st.compressible = r.pcfg.Compressible(&ptes)
+		}
 	}
-	r.ptbs[ptbAddr] = st
 	return st
 }
 

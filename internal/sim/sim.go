@@ -123,10 +123,37 @@ func (m Metrics) AvgL3MissLatencyNS() float64 {
 // ptbState tracks one hardware-compressed PTB and its embedded CTEs: the
 // stored entries are snapshots taken at embed time, so they go stale when
 // pages migrate — exactly the hazard TMCC's verify-in-parallel handles.
+// The states live in a flat slice indexed by pagetable.Table.PTBSlot; init
+// marks slots whose compressibility has been derived (the walker first
+// pulling the PTB through L2).
 type ptbState struct {
+	init         bool
 	compressible bool
 	hasCTE       [8]bool
 	entries      [8]cte.Entry
+}
+
+// batchSize is the per-core access batch: trace generation and address
+// translation run batchSize records ahead of timing, and the sticky
+// capacity-error check in runAccesses happens once per batch.
+const batchSize = 64
+
+// unmappedPPN is the dense translation tables' "no mapping" sentinel.
+const unmappedPPN = ^uint64(0)
+
+// accessBatch is a struct-of-arrays block of pre-generated, pre-translated
+// trace records. Generation is safe ahead of time because each core owns
+// its trace RNG exclusively (streams never interleave across cores), and
+// translation is safe because the page tables are static after placement;
+// only the timing loop below consumes simulated time.
+type accessBatch struct {
+	vaddr [batchSize]uint64
+	ppn   [batchSize]uint64 // data PPN, unmappedPPN when unmapped
+	gap   [batchSize]int32
+	write [batchSize]bool
+	dep   [batchSize]bool
+	pos   int // next record to consume
+	n     int // records filled
 }
 
 type core struct {
@@ -142,9 +169,16 @@ type core struct {
 	mshr  []config.Time // outstanding-miss completion times
 	next  int           // ring index
 	dep   config.Time   // completion of the last dependent access
+	batch accessBatch
 	// prefetch
 	stride   *cache.StridePrefetcher
 	throttle *cache.Throttle
+}
+
+// before orders cores for the issue heap: earliest clock first, core id
+// breaking ties — exactly the pick of a linear lowest-index-min scan.
+func (c *core) before(o *core) bool {
+	return c.time < o.time || (c.time == o.time && c.id < o.id)
 }
 
 // Runner owns one configured system.
@@ -155,20 +189,40 @@ type Runner struct {
 	as    *pagetable.AddressSpace
 	sizes *workload.SizeModel
 	// Virtualization state (nil when not virtualized): the guest address
-	// space, plus functional translation caches.
+	// space, plus dense functional translation tables filled at build time
+	// (gpn-indexed and vpn-indexed, unmappedPPN where unmapped).
 	guest     *pagetable.AddressSpace
-	gpaToHost map[uint64]uint64
-	vpnToHost map[uint64]uint64
+	gpaToHost []uint64
 	mcc       *mc.MC
 	l3        *cache.Cache
-	ptbs      map[uint64]*ptbState
+	ptbs      []ptbState
+	ptbSpare  ptbState // returned for non-table addresses (defensive)
 	pcfg      ptbcomp.Config
 	rng       *rand.Rand
 
+	// vpnToPPN maps trace virtual pages (offset by vlo) to the physical
+	// page the MC sees — host-physical under virtualization. One bounds
+	// check and one load replace the per-access radix walk / map probes.
+	vpnToPPN []uint64
+	vlo      uint64
+
 	cores []*core
+	// heap is the issue order: a binary min-heap over the cores by
+	// (time, id), rebuilt at the start of each runAccesses.
+	heap []*core
 
 	cycle config.Time
 	noc   config.Time
+
+	// Reusable per-Runner scratch keeping the measured loop allocation
+	// free (verified by TestAccessPathAllocFree): page-walk step buffers
+	// (host and guest — walk2D holds guest steps across nested host
+	// walks), prefetch candidates, and the embedded-CTE copy handed to
+	// the MC.
+	walkBuf    []pagetable.Step
+	gwalkBuf   []pagetable.Step
+	pfBuf      []uint64
+	embScratch cte.Entry
 
 	m         Metrics
 	recording bool

@@ -21,7 +21,9 @@ import (
 
 // buildVirt constructs the guest and host address spaces. The host maps
 // every guest-physical page (data + guest table pages); the MC's OS pool is
-// the host pool.
+// the host pool. Both functional translation tables are dense slices filled
+// eagerly here — the tables are static after build, so per-access probes
+// reduce to a bounds check and a load.
 func buildVirt(r *Runner, osPages uint64, seed int64) {
 	spec := r.spec
 	// Guest table: vpn -> gpn over a guest-physical pool sized to the
@@ -36,26 +38,37 @@ func buildVirt(r *Runner, osPages uint64, seed int64) {
 
 	r.guest = guest
 	r.as = host // the "physical" space the MC sees is host-physical
-	r.gpaToHost = make(map[uint64]uint64)
-	r.vpnToHost = make(map[uint64]uint64)
+
+	hostLo, hostHi := host.VPNRange()
+	r.gpaToHost = make([]uint64, guestPool)
+	for gpn := uint64(0); gpn < guestPool; gpn++ {
+		r.gpaToHost[gpn] = unmappedPPN
+		if vpn := hostLo + gpn; vpn < hostHi {
+			if h, ok := host.Table.Lookup(vpn); ok {
+				r.gpaToHost[gpn] = h
+			}
+		}
+	}
+	guestLo, guestHi := guest.VPNRange()
+	r.vlo = guestLo
+	r.vpnToPPN = make([]uint64, guestHi-guestLo)
+	for i := range r.vpnToPPN {
+		r.vpnToPPN[i] = unmappedPPN
+		if gpn, ok := guest.Table.Lookup(guestLo + uint64(i)); ok {
+			if h, ok := r.hostPPN(gpn); ok {
+				r.vpnToPPN[i] = h
+			}
+		}
+	}
 }
 
 // hostPPN resolves a guest-physical page to its host-physical page
 // (functional; the timing cost is modeled by walk2D).
 func (r *Runner) hostPPN(gpn uint64) (uint64, bool) {
-	if h, ok := r.gpaToHost[gpn]; ok {
-		return h, true
-	}
-	lo, hi := r.as.VPNRange()
-	vpn := lo + gpn
-	if vpn >= hi {
+	if gpn >= uint64(len(r.gpaToHost)) || r.gpaToHost[gpn] == unmappedPPN {
 		return 0, false
 	}
-	h, ok := r.as.Table.Lookup(vpn)
-	if ok {
-		r.gpaToHost[gpn] = h
-	}
-	return h, ok
+	return r.gpaToHost[gpn], true
 }
 
 // hostWalk performs one constituent host walk for a guest-physical page,
@@ -67,7 +80,7 @@ func (r *Runner) hostWalk(c *core, t config.Time, gpn uint64) config.Time {
 		return t // nested walk-cache hit: translation is at hand
 	}
 	startLevel := c.wc.WalkStart(vpn)
-	steps, _, ok := r.as.Table.Walk(vpn)
+	steps, _, ok := r.as.Table.WalkAppend(r.walkBuf, vpn)
 	if !ok {
 		return t
 	}
@@ -89,9 +102,11 @@ func (r *Runner) hostWalk(c *core, t config.Time, gpn uint64) config.Time {
 }
 
 // walk2D performs the full nested walk for a guest-virtual page and
-// returns (completion time, final host PPN of the data page).
+// returns (completion time, final host PPN of the data page). Guest steps
+// use their own buffer: they stay live across the nested host walks, which
+// reuse the host walk buffer.
 func (r *Runner) walk2D(c *core, t config.Time, vpn uint64) (config.Time, uint64, bool) {
-	gsteps, gpn, ok := r.guest.Table.Walk(vpn)
+	gsteps, gpn, ok := r.guest.Table.WalkAppend(r.gwalkBuf, vpn)
 	if !ok {
 		return t, 0, false
 	}
@@ -117,20 +132,10 @@ func (r *Runner) walk2D(c *core, t config.Time, vpn uint64) (config.Time, uint64
 }
 
 // lookupVirtData returns the host PPN for a guest-virtual page without
-// timing (cached).
+// timing (a dense-table read; buildVirt precomputed the composition).
 func (r *Runner) lookupVirtData(vpn uint64) (uint64, bool) {
-	if h, ok := r.vpnToHost[vpn]; ok {
-		return h, true
-	}
-	gpn, ok := r.guest.Table.Lookup(vpn)
-	if !ok {
-		return 0, false
-	}
-	h, ok := r.hostPPN(gpn)
-	if ok {
-		r.vpnToHost[vpn] = h
-	}
-	return h, ok
+	h := r.translate(vpn)
+	return h, h != unmappedPPN
 }
 
 // placeVirt performs placement for the virtualized system: data pages (in
