@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint test race debug fuzz-smoke fmt bench core-bench-smoke engine-smoke obs-smoke breakdown-smoke chaos-smoke
+.PHONY: all build lint test race debug fuzz-smoke fmt bench core-bench-smoke engine-smoke obs-smoke breakdown-smoke chaos-smoke timeline-smoke bench-record
 
 all: lint test
 
@@ -148,3 +148,39 @@ chaos-smoke:
 		echo "chaos-smoke: tiny budget did not fail"; exit 1; fi
 	grep -q 'capacity exhausted' /tmp/tmcc_capacity.err
 	@echo "chaos-smoke: faults-off identical, chaos deterministic, exhaustion graceful"
+
+# timeline-smoke proves the windowed-timeline path end to end:
+#   1. a -timeline run renders the scorecard byte-identically to a plain run;
+#   2. the timeline CSV is byte-identical at -j 1 and -j 4;
+#   3. every window's attr rows conserve (components minus the doubly-counted
+#      overlap credit equal the window total), checked independently in awk;
+#   4. the sparkline renderer consumes a watch file carrying a timeline, and
+#      the Chrome trace's counter events pass tmcctop -validate-trace.
+timeline-smoke:
+	$(GO) build -o /tmp/tmccsim ./cmd/tmccsim
+	$(GO) build -o /tmp/tmcctop ./cmd/tmcctop
+	/tmp/tmccsim -exp fig17 -quick -format csv > /tmp/tmccsim_notl.csv
+	/tmp/tmccsim -exp fig17 -quick -format csv -j 1 \
+		-timeline /tmp/tmcc_tl_j1.csv > /tmp/tmccsim_tl.csv
+	diff -u /tmp/tmccsim_notl.csv /tmp/tmccsim_tl.csv
+	/tmp/tmccsim -exp fig17 -quick -format csv -j 4 \
+		-timeline /tmp/tmcc_tl_j4.csv > /dev/null
+	diff -u /tmp/tmcc_tl_j1.csv /tmp/tmcc_tl_j4.csv
+	awk -F, '$$4=="attr" { split($$5, a, "."); key=$$1","$$2","$$3","a[1]; \
+		if (a[2]=="total") tot[key]=$$7; \
+		else { s[key]+=$$7; if (a[2]=="overlapCredit") ov[key]=$$7 } found=1 } \
+		END { if (!found) { print "no attr rows in timeline CSV"; exit 1 } \
+		for (k in tot) if (s[k]-2*ov[k] != tot[k]) { \
+			print "unconserved window: " k; exit 1 } }' /tmp/tmcc_tl_j1.csv
+	/tmp/tmccsim -run canneal -kind tmcc -quick \
+		-watchfile /tmp/tmcc_tl.watch -watch-every 50ms \
+		-timeline /tmp/tmcc_tl_run.csv -trace /tmp/tmcc_tl.trace > /dev/null
+	/tmp/tmcctop -timeline /tmp/tmcc_tl.watch -iters 1 | grep -q 'windows of'
+	/tmp/tmcctop -validate-trace /tmp/tmcc_tl.trace | grep -q 'counters'
+	@echo "timeline-smoke: windows conserve, -j byte-identity, plain output untouched"
+
+# bench-record appends this machine's flags-off quick-suite measurement to
+# the committed perf ledger; review the BENCH_trajectory.json diff to spot
+# regressions PR over PR.
+bench-record:
+	$(GO) run ./cmd/tmccbench

@@ -1,0 +1,152 @@
+// Command tmccbench records the repo's performance trajectory: it runs
+// the quick experiment suite through the shared engine (the same work CI
+// smokes), measures wall time and engine counters, and appends one entry
+// to BENCH_trajectory.json. Successive entries — one per PR that touches
+// performance — make regressions visible as history, not anecdotes:
+//
+//	tmccbench                 append a flags-off quick-suite entry
+//	tmccbench -note "..."     label the entry
+//	tmccbench -dry-run        print the entry without touching the ledger
+//
+// The ledger is committed, so `make bench-record` plus a glance at the
+// diff is the whole perf-review workflow.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"time"
+
+	"tmcc/internal/exp"
+)
+
+// entry is one measured point of the trajectory.
+type entry struct {
+	Date      string `json:"date"`
+	Commit    string `json:"commit"`
+	Jobs      int    `json:"jobs"`
+	WallMS    int64  `json:"wall_ms"`
+	Runs      uint64 `json:"runs"`
+	CacheHits uint64 `json:"cache_hits"`
+	Note      string `json:"note,omitempty"`
+}
+
+// ledger is the BENCH_trajectory.json document.
+type ledger struct {
+	Description string  `json:"description"`
+	Machine     string  `json:"machine"`
+	Entries     []entry `json:"entries"`
+}
+
+const defaultDescription = "Wall-clock trajectory of the flags-off quick suite (tmccsim -all -quick equivalent) across PRs. Append entries with `make bench-record`; compare neighbours to spot perf regressions before they compound."
+
+func main() {
+	var (
+		out    = flag.String("out", "BENCH_trajectory.json", "trajectory ledger to append to (created when missing)")
+		jobs   = flag.Int("j", 1, "parallel simulation workers for the measured suite")
+		seed   = flag.Int64("seed", 42, "simulation seed")
+		note   = flag.String("note", "", "free-form label stored with the entry")
+		date   = flag.String("date", "", "entry date (YYYY-MM-DD; default today)")
+		commit = flag.String("commit", "", "commit id stored with the entry (default: git rev-parse --short HEAD)")
+		dry    = flag.Bool("dry-run", false, "measure and print the entry without writing the ledger")
+	)
+	flag.Parse()
+
+	e := entry{
+		Date:   *date,
+		Commit: *commit,
+		Jobs:   *jobs,
+		Note:   *note,
+	}
+	if e.Date == "" {
+		e.Date = time.Now().Format("2006-01-02")
+	}
+	if e.Commit == "" {
+		e.Commit = gitHead()
+	}
+
+	eng := exp.Engine()
+	eng.SetWorkers(*jobs)
+	eng.SetClock(func() int64 { return time.Now().UnixNano() })
+	eng.SetRetryBackoff(func() { time.Sleep(250 * time.Millisecond) })
+	cfg := exp.Config{Seed: *seed, Quick: true}
+
+	start := time.Now()
+	for _, id := range exp.IDs() {
+		r, ok := exp.Get(id)
+		if !ok {
+			fatal(fmt.Errorf("unknown experiment %q", id))
+		}
+		t, err := r(cfg)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", id, err))
+		}
+		// Render to io.Discard: the suite's output formatting is part of
+		// what users wait for, so it belongs in the measurement.
+		fmt.Fprintln(io.Discard, t.CSV())
+	}
+	wall := time.Since(start)
+	st := eng.Stats()
+	e.WallMS = wall.Milliseconds()
+	e.Runs = st.Runs
+	e.CacheHits = st.Hits + st.Coalesced
+
+	b, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s\n", b)
+	if *dry {
+		return
+	}
+	if err := appendEntry(*out, e); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("appended to %s\n", *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
+// gitHead best-effort resolves the current short commit; "unknown" when
+// not in a git checkout (the ledger is still useful, just less precise).
+func gitHead() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// appendEntry reads the ledger (creating the document on first use),
+// appends e, and rewrites the file.
+func appendEntry(path string, e entry) error {
+	l := ledger{Description: defaultDescription, Machine: machine()}
+	if b, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(b, &l); err != nil {
+			return fmt.Errorf("tmccbench: %s exists but is not a trajectory ledger: %v", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	l.Entries = append(l.Entries, e)
+	b, err := json.MarshalIndent(l, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// machine is a coarse host label so entries from different machines are
+// never compared as if they were one series.
+func machine() string {
+	return fmt.Sprintf("%s/%s, %d CPU", runtime.GOOS, runtime.GOARCH, runtime.NumCPU())
+}

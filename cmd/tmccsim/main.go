@@ -31,12 +31,14 @@ import (
 	"strings"
 	"time"
 
+	"tmcc/internal/config"
 	"tmcc/internal/exp"
 	"tmcc/internal/exp/engine"
 	"tmcc/internal/fault"
 	"tmcc/internal/mc"
 	"tmcc/internal/obs"
 	"tmcc/internal/obs/attr"
+	"tmcc/internal/obs/timeline"
 	"tmcc/internal/sim"
 )
 
@@ -53,6 +55,9 @@ func main() {
 		metrics = flag.String("metrics", "", "write an obs registry snapshot (JSON) to this file at exit")
 		trace   = flag.String("trace", "", "write a Chrome trace_event JSON (simulated time) to this file at exit")
 		pprof   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060)")
+
+		timelineOut    = flag.String("timeline", "", "write the windowed timeline CSV to this file at exit")
+		timelineWindow = flag.Duration("timeline-window", time.Millisecond, "simulated-time window width for -timeline (a wall-clock syntax naming a simulated duration)")
 
 		breakdown    = flag.Bool("breakdown", false, "print the latency-attribution breakdown table (stderr) at exit")
 		breakdownCSV = flag.String("breakdown-csv", "", "write the latency-attribution breakdown CSV to this file at exit")
@@ -101,17 +106,24 @@ func main() {
 	// obs-sink-purity). Each surface is built only when requested, so a
 	// plain run stays on the nil fast path.
 	needAttr := *breakdown || *breakdownCSV != "" || *flame != "" || *watchfile != ""
+	needTimeline := *timelineOut != ""
 	var ob *obs.Observer
-	if *metrics != "" || *trace != "" || needAttr {
+	if *metrics != "" || *trace != "" || needAttr || needTimeline {
 		ob = &obs.Observer{}
-		if *metrics != "" || *watchfile != "" {
+		if *metrics != "" || *watchfile != "" || needTimeline {
 			ob.Reg = obs.NewRegistry()
 		}
 		if *trace != "" {
 			ob.Tr = obs.NewTracer(0)
 		}
-		if needAttr {
+		if needAttr || needTimeline {
 			ob.At = attr.NewRecorder()
+		}
+		if needTimeline {
+			// The flag names a *simulated* duration in wall-clock syntax
+			// (1ms = one simulated millisecond); internal/ never sees the
+			// wall clock.
+			ob.TL = timeline.NewRecorder(config.Time(timelineWindow.Nanoseconds()) * config.Nanosecond)
 		}
 		eng.SetObserver(ob)
 	}
@@ -178,6 +190,12 @@ func main() {
 	}
 	if *trace != "" {
 		if err := writeTrace(*trace, ob); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if needTimeline {
+		if err := writeTimeline(*timelineOut, ob); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -348,15 +366,36 @@ func writeMetrics(path string, ob *obs.Observer) error {
 	return nil
 }
 
-// writeTrace serializes the retained spans into path.
+// writeTrace serializes the retained spans into path; when a timeline
+// rode along, its windowed counter deltas join the file as "C" events.
 func writeTrace(path string, ob *obs.Observer) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("trace: %w", err)
 	}
 	defer f.Close()
-	if err := ob.Tr.WriteChromeTrace(f); err != nil {
+	if err := ob.Tr.WriteChromeTraceTimeline(f, ob.TL.Snapshot()); err != nil {
 		return fmt.Errorf("trace: %w", err)
+	}
+	return nil
+}
+
+// writeTimeline audits the timeline against the lifetime sinks (every
+// window delta must sum back to the lifetime registry/attr values — the
+// same re-verify-before-export stance the attr surfaces take) and writes
+// the windowed CSV into path.
+func writeTimeline(path string, ob *obs.Observer) error {
+	tl := ob.TL.Snapshot()
+	if err := obs.VerifyTimeline(tl, ob.Reg.Snapshot(), ob.At.Snapshot()); err != nil {
+		return fmt.Errorf("timeline: %w", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("timeline: %w", err)
+	}
+	defer f.Close()
+	if err := tl.WriteCSV(f); err != nil {
+		return fmt.Errorf("timeline: %w", err)
 	}
 	return nil
 }

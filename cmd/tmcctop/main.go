@@ -7,6 +7,9 @@
 //	                              its event/category counts (CI uses this)
 //	tmcctop -watch live.json      live mode: re-render the watch file a long
 //	                              `tmccsim -watchfile live.json` run emits
+//	tmcctop -timeline live.json   live mode: unicode sparklines of the watch
+//	                              file's windowed timeline (tmccsim must run
+//	                              with both -watchfile and -timeline)
 //
 // Snapshots come from `tmccsim -metrics`, traces from `tmccsim -trace`,
 // watch files from `tmccsim -watchfile`.
@@ -19,22 +22,27 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 	"text/tabwriter"
 	"time"
 
 	"tmcc/internal/obs"
+	"tmcc/internal/obs/timeline"
 )
 
 func main() {
 	validate := flag.String("validate-trace", "", "validate a Chrome trace file instead of rendering snapshots")
 	watch := flag.String("watch", "", "live mode: re-render this tmccsim -watchfile output until interrupted")
-	every := flag.Duration("every", 2*time.Second, "refresh period for -watch")
-	iters := flag.Int("iters", 0, "with -watch: stop after N refreshes (0 = run until interrupted)")
+	tlWatch := flag.String("timeline", "", "live mode: render this watch file's windowed timeline as sparklines")
+	every := flag.Duration("every", 2*time.Second, "refresh period for -watch/-timeline")
+	iters := flag.Int("iters", 0, "with -watch/-timeline: stop after N refreshes (0 = run until interrupted)")
 	flag.Parse()
 
 	switch {
 	case *watch != "":
-		watchLoop(os.Stdout, *watch, *every, *iters)
+		watchLoop(os.Stdout, *watch, *every, *iters, renderWatch)
+	case *tlWatch != "":
+		watchLoop(os.Stdout, *tlWatch, *every, *iters, renderTimeline)
 	case *validate != "":
 		f, err := os.Open(*validate)
 		if err != nil {
@@ -161,14 +169,15 @@ func renderDiff(w io.Writer, old, cur obs.Snapshot) {
 }
 
 // watchLoop re-renders the watch file every period until interrupted (or
-// for iters refreshes when positive — the tests and bounded CI use that).
+// for iters refreshes when positive — the tests and bounded CI use that),
+// through the given frame renderer (-watch tables, -timeline sparklines).
 // A missing or torn frame is never fatal: before the first good frame the
 // loop reports that it is waiting; afterwards it re-renders the last good
 // frame marked stale and keeps polling — tmccsim writes atomically, but
 // the emitter can exit mid-run (or mid-write on a non-atomic filesystem)
 // and the watcher must outlive that.
-func watchLoop(w io.Writer, path string, every time.Duration, iters int) {
-	wa := watcher{path: path}
+func watchLoop(w io.Writer, path string, every time.Duration, iters int, render renderFunc) {
+	wa := watcher{path: path, render: render}
 	first := true
 	for n := 0; iters <= 0 || n < iters; n++ {
 		if !first {
@@ -179,10 +188,14 @@ func watchLoop(w io.Writer, path string, every time.Duration, iters int) {
 	}
 }
 
+// renderFunc renders one good watch frame (lastSeq detects staleness).
+type renderFunc func(w io.Writer, ws obs.WatchSnapshot, lastSeq uint64)
+
 // watcher carries the last good frame between ticks so a transient read
 // failure degrades to a stale display instead of a dead one.
 type watcher struct {
 	path      string
+	render    renderFunc
 	last      obs.WatchSnapshot
 	haveFrame bool
 }
@@ -194,12 +207,12 @@ func (wa *watcher) tick(w io.Writer) {
 		// Clear the terminal only when a frame rendered, so error lines
 		// above stay visible.
 		fmt.Fprint(w, "\033[H\033[2J")
-		renderWatch(w, ws, wa.last.Seq)
+		wa.render(w, ws, wa.last.Seq)
 		wa.last, wa.haveFrame = ws, true
 	case wa.haveFrame:
 		fmt.Fprint(w, "\033[H\033[2J")
 		fmt.Fprintf(w, "watchfile unreadable (%v); showing last good frame\n", err)
-		renderWatch(w, wa.last, wa.last.Seq)
+		wa.render(w, wa.last, wa.last.Seq)
 	default:
 		fmt.Fprintf(w, "waiting for %s: %v\n", wa.path, err)
 	}
@@ -235,10 +248,132 @@ func renderWatch(w io.Writer, ws obs.WatchSnapshot, lastSeq uint64) {
 	renderSnapshot(w, ws.Metrics)
 }
 
+// maxSparkSlots caps a sparkline at the newest windows so long runs stay
+// within one terminal row.
+const maxSparkSlots = 64
+
+// sparkRunes are the eight block heights a sparkline cell can take.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// sparkline renders values as unicode blocks scaled to the series max.
+func sparkline(vals []uint64) string {
+	var max uint64
+	for _, v := range vals {
+		if v > max {
+			max = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range vals {
+		i := 0
+		if max > 0 {
+			i = int(v * uint64(len(sparkRunes)-1) / max)
+		}
+		b.WriteRune(sparkRunes[i])
+	}
+	return b.String()
+}
+
+// renderTimeline prints one live frame of the windowed timeline: per
+// (benchmark, kind) group, one sparkline per counter path, histogram
+// path (observation counts), and attr class (access counts) over a dense
+// simulated-time window grid.
+func renderTimeline(w io.Writer, ws obs.WatchSnapshot, lastSeq uint64) {
+	stamp := ""
+	if ws.UnixNanos != 0 {
+		stamp = " emitted " + time.Unix(0, ws.UnixNanos).Format("15:04:05")
+	}
+	stale := ""
+	if ws.Seq == lastSeq {
+		stale = " (stale: no new frame since last refresh)"
+	}
+	fmt.Fprintf(w, "tmcctop -timeline: frame %d%s%s\n\n", ws.Seq, stamp, stale)
+	tl := ws.Timeline
+	if len(tl.Groups) == 0 {
+		fmt.Fprintln(w, "no timeline in this watch file; run tmccsim with both -watchfile and -timeline")
+		return
+	}
+	for _, g := range tl.Groups {
+		renderTimelineGroup(w, g, tl.WidthPS)
+	}
+}
+
+// renderTimelineGroup prints one group's sparklines. Windows with no
+// activity are rendered as zeros so the x-axis is uniform simulated time.
+func renderTimelineGroup(w io.Writer, g timeline.GroupSeries, widthPS int64) {
+	if len(g.Windows) == 0 || widthPS <= 0 {
+		return
+	}
+	lo := g.Windows[0].StartPS
+	hi := g.Windows[len(g.Windows)-1].StartPS
+	slots := int((hi-lo)/widthPS) + 1
+	if slots > maxSparkSlots {
+		lo = hi - int64(maxSparkSlots-1)*widthPS
+		slots = maxSparkSlots
+	}
+	slot := func(startPS int64) (int, bool) {
+		if startPS < lo {
+			return 0, false
+		}
+		return int((startPS - lo) / widthPS), true
+	}
+	// series name -> per-slot values; names collect in first-seen order
+	// is avoided — sort at the end for a stable display.
+	series := map[string][]uint64{}
+	at := func(name string) []uint64 {
+		s, ok := series[name]
+		if !ok {
+			s = make([]uint64, slots)
+			series[name] = s
+		}
+		return s
+	}
+	for _, win := range g.Windows {
+		i, ok := slot(win.StartPS)
+		if !ok {
+			continue
+		}
+		for _, cd := range win.Counters {
+			at(cd.Path)[i] += cd.Delta
+		}
+		for _, hd := range win.Hists {
+			at(hd.Path)[i] += hd.Count
+		}
+		for _, ad := range win.Attr {
+			at("attr." + ad.Class.String())[i] += ad.Count
+		}
+	}
+	names := make([]string, 0, len(series))
+	for n := range series {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	winDur := time.Duration(widthPS / 1000) // ps -> ns for display
+	fmt.Fprintf(w, "%s/%s — %d windows of %v simulated (newest %d shown)\n",
+		g.Benchmark, g.Kind, len(g.Windows), winDur, slots)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	for _, n := range names {
+		vals := series[n]
+		var total, max uint64
+		for _, v := range vals {
+			total += v
+			if v > max {
+				max = v
+			}
+		}
+		fmt.Fprintf(tw, "  %s\t%s\tmax=%d\ttotal=%d\n", n, sparkline(vals), max, total)
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}
+
 // validateTrace parses a Chrome trace_event JSON stream and checks the
-// invariants tmccsim's tracer guarantees: object form, at least one event,
-// every event a complete ("X") span with non-negative timestamps. On
-// success it prints a one-line summary with the category census.
+// invariants tmccsim's tracer guarantees: object form, at least one
+// event, every event either a complete ("X") span with non-negative
+// timestamps or a timeline counter sample ("C") carrying a value. On
+// success it prints a one-line summary with the category census and the
+// ring utilization (retained next to dropped, so "is the ring big
+// enough" is answerable from the validation line alone).
 func validateTrace(w io.Writer, r io.Reader) error {
 	var f struct {
 		TraceEvents []struct {
@@ -247,6 +382,9 @@ func validateTrace(w io.Writer, r io.Reader) error {
 			Ph   string  `json:"ph"`
 			TS   float64 `json:"ts"`
 			Dur  float64 `json:"dur"`
+			Args *struct {
+				Value uint64 `json:"value"`
+			} `json:"args"`
 		} `json:"traceEvents"`
 		OtherData map[string]string `json:"otherData"`
 	}
@@ -260,12 +398,24 @@ func validateTrace(w io.Writer, r io.Reader) error {
 		return fmt.Errorf("trace holds no events")
 	}
 	cats := map[string]int{}
+	spans, counters := 0, 0
 	for i, e := range f.TraceEvents {
-		if e.Ph != "X" {
-			return fmt.Errorf("event %d (%s): phase %q, want complete span X", i, e.Name, e.Ph)
+		switch e.Ph {
+		case "X":
+			spans++
+			if e.Dur < 0 {
+				return fmt.Errorf("event %d (%s): negative dur %v", i, e.Name, e.Dur)
+			}
+		case "C":
+			counters++
+			if e.Args == nil {
+				return fmt.Errorf("event %d (%s): counter event without args.value", i, e.Name)
+			}
+		default:
+			return fmt.Errorf("event %d (%s): phase %q, want complete span X or counter C", i, e.Name, e.Ph)
 		}
-		if e.TS < 0 || e.Dur < 0 {
-			return fmt.Errorf("event %d (%s): negative ts/dur %v/%v", i, e.Name, e.TS, e.Dur)
+		if e.TS < 0 {
+			return fmt.Errorf("event %d (%s): negative ts %v", i, e.Name, e.TS)
 		}
 		if e.Cat == "" || e.Name == "" {
 			return fmt.Errorf("event %d: empty cat or name", i)
@@ -277,9 +427,16 @@ func validateTrace(w io.Writer, r io.Reader) error {
 		names = append(names, c)
 	}
 	sort.Strings(names)
-	fmt.Fprintf(w, "trace OK: %d events, %d categories:", len(f.TraceEvents), len(names))
+	fmt.Fprintf(w, "trace OK: %d events (%d spans, %d counters), %d categories:", len(f.TraceEvents), spans, counters, len(names))
 	for _, c := range names {
 		fmt.Fprintf(w, " %s=%d", c, cats[c])
+	}
+	if retained, ok := f.OtherData["retainedSpans"]; ok {
+		dropped := f.OtherData["droppedSpans"]
+		if dropped == "" {
+			dropped = "0"
+		}
+		fmt.Fprintf(w, " (ring: %s retained, %s dropped)", retained, dropped)
 	}
 	fmt.Fprintln(w)
 	return nil

@@ -160,7 +160,7 @@ func TestRenderWatch(t *testing.T) {
 func TestWatchLoopBounded(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "live.json")
 	var buf bytes.Buffer
-	watchLoop(&buf, path, 0, 1)
+	watchLoop(&buf, path, 0, 1, renderWatch)
 	if !strings.Contains(buf.String(), "waiting for") {
 		t.Errorf("missing file did not print the retry line:\n%s", buf.String())
 	}
@@ -178,7 +178,7 @@ func TestWatchLoopBounded(t *testing.T) {
 	f.Close()
 
 	buf.Reset()
-	watchLoop(&buf, path, 0, 1)
+	watchLoop(&buf, path, 0, 1, renderWatch)
 	out := buf.String()
 	for _, want := range []string{"frame 2", "mcf", "compresso"} {
 		if !strings.Contains(out, want) {
@@ -232,7 +232,7 @@ func TestWatchLoopSurvivesTruncation(t *testing.T) {
 		f.Close()
 	}
 
-	wa := watcher{path: path}
+	wa := watcher{path: path, render: renderWatch}
 	var buf bytes.Buffer
 	writeFrame(1)
 	wa.tick(&buf)

@@ -24,10 +24,12 @@
 //     fmt.Errorf formats).
 //   - obs-sink-purity: simulator code under internal/ (except internal/obs
 //     itself) must not construct output sinks — no os.Create / os.OpenFile /
-//     os.NewFile calls and no os.Stdout / os.Stderr references. Metrics
-//     snapshots and trace files are written through io.Writers injected
-//     from the cmd layer, so observability can never smuggle wall-clock or
-//     filesystem effects into a simulation.
+//     os.NewFile calls, no os.Stdout / os.Stderr references, and no
+//     timeline.NewRecorder calls (windowed recorders are built at the cmd
+//     layer and injected via obs.Observer.TL). Metrics snapshots and trace
+//     files are written through io.Writers injected from the cmd layer, so
+//     observability can never smuggle wall-clock or filesystem effects
+//     into a simulation.
 //
 // Suppress a finding with a trailing or preceding comment:
 //
@@ -112,7 +114,7 @@ func File(fset *token.FileSet, relPath string, f *ast.File) []Diag {
 		inConfig: strings.Contains(relPath+"/", "internal/config/"),
 		allowed:  collectAllows(fset, f),
 	}
-	c.randPkg, c.timePkg, c.osPkg = importNames(f)
+	c.randPkg, c.timePkg, c.osPkg, c.tlPkg = importNames(f)
 	if c.internal {
 		c.checkRand()
 		c.checkWallclock()
@@ -147,6 +149,7 @@ type checker struct {
 	randPkg  string
 	timePkg  string
 	osPkg    string
+	tlPkg    string
 	// allowed maps line -> rules suppressed on that line ("" = all).
 	allowed map[int]map[string]bool
 	diags   []Diag
@@ -160,9 +163,10 @@ func (c *checker) report(pos token.Pos, rule, msg string) {
 	c.diags = append(c.diags, Diag{Pos: p, Rule: rule, Msg: msg})
 }
 
-// importNames returns the local names under which math/rand, time, and os
-// are imported ("" when not imported, "_"/"." treated as not callable).
-func importNames(f *ast.File) (randName, timeName, osName string) {
+// importNames returns the local names under which math/rand, time, os,
+// and the timeline package are imported ("" when not imported, "_"/"."
+// treated as not callable).
+func importNames(f *ast.File) (randName, timeName, osName, tlName string) {
 	for _, imp := range f.Imports {
 		p, err := strconv.Unquote(imp.Path.Value)
 		if err != nil {
@@ -182,9 +186,11 @@ func importNames(f *ast.File) (randName, timeName, osName string) {
 			timeName = name
 		case "os":
 			osName = name
+		case "tmcc/internal/obs/timeline":
+			tlName = name
 		}
 	}
-	return randName, timeName, osName
+	return randName, timeName, osName, tlName
 }
 
 // pkgCall matches a call of the form pkgName.Fun(...) and returns Fun.
@@ -455,13 +461,23 @@ var sinkConstructors = map[string]bool{"Create": true, "OpenFile": true, "NewFil
 var sinkStreams = map[string]bool{"Stdout": true, "Stderr": true}
 
 func (c *checker) checkObsSink() {
-	if c.osPkg == "" {
+	if c.osPkg == "" && c.tlPkg == "" {
 		return
 	}
 	ast.Inspect(c.file, func(n ast.Node) bool {
 		if call, fun := pkgCall(n, c.osPkg); call != nil && sinkConstructors[fun] {
 			c.report(call.Pos(), RuleObsSink,
 				fmt.Sprintf("%s.%s constructs an output sink under internal/; take an io.Writer injected from the cmd layer instead", c.osPkg, fun))
+			return true
+		}
+		if call, fun := pkgCall(n, c.tlPkg); call != nil && fun == "NewRecorder" {
+			// Arming a windowed timeline is an observability decision like
+			// opening a metrics file: it belongs to the cmd layer, which
+			// hands the recorder in via obs.Observer.TL. internal/ building
+			// its own recorder would fork the time-series away from the
+			// conservation-audited one.
+			c.report(call.Pos(), RuleObsSink,
+				fmt.Sprintf("%s.NewRecorder constructs a timeline recorder under internal/; recorders are built at the cmd layer and injected via obs.Observer.TL", c.tlPkg))
 			return true
 		}
 		sel, ok := n.(*ast.SelectorExpr)

@@ -403,3 +403,55 @@ func f() { os.Create("x") } //tmcclint:allow obs-sink-purity
 		t.Fatalf("allow directive did not suppress: %v", rules)
 	}
 }
+
+func TestObsSinkTimelineRecorderFires(t *testing.T) {
+	src := `package p
+import "tmcc/internal/obs/timeline"
+func f() *timeline.Recorder { return timeline.NewRecorder(0) }
+`
+	rules := run(t, "internal/p/p.go", src)
+	if !has(rules, RuleObsSink) {
+		t.Fatalf("want %s for timeline.NewRecorder under internal/, got %v", RuleObsSink, rules)
+	}
+}
+
+func TestObsSinkTimelineRenamedImportFires(t *testing.T) {
+	src := `package p
+import tl "tmcc/internal/obs/timeline"
+func f() *tl.Recorder { return tl.NewRecorder(0) }
+`
+	rules := run(t, "internal/p/p.go", src)
+	if !has(rules, RuleObsSink) {
+		t.Fatalf("renamed timeline import escaped the rule: %v", rules)
+	}
+}
+
+func TestObsSinkTimelineAllowedInObsPackage(t *testing.T) {
+	src := `package obs
+import "tmcc/internal/obs/timeline"
+func f() *timeline.Recorder { return timeline.NewRecorder(0) }
+`
+	if rules := run(t, "internal/obs/timelineview.go", src); has(rules, RuleObsSink) {
+		t.Fatalf("rule fired inside internal/obs: %v", rules)
+	}
+}
+
+func TestObsSinkTimelineAllowedAtCmdLayer(t *testing.T) {
+	src := `package main
+import "tmcc/internal/obs/timeline"
+func f() *timeline.Recorder { return timeline.NewRecorder(0) }
+`
+	if rules := run(t, "cmd/tmccsim/main.go", src); has(rules, RuleObsSink) {
+		t.Fatalf("rule fired outside internal: %v", rules)
+	}
+}
+
+func TestObsSinkTimelineHarmlessUseOK(t *testing.T) {
+	src := `package p
+import "tmcc/internal/obs/timeline"
+func f() int64 { return timeline.WindowStart(5, 10) }
+`
+	if rules := run(t, "internal/p/p.go", src); has(rules, RuleObsSink) {
+		t.Fatalf("timeline.WindowStart flagged: %v", rules)
+	}
+}

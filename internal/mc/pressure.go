@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"tmcc/internal/config"
+	"tmcc/internal/obs"
 )
 
 // ErrCapacityExhausted is the sentinel wrapped by every CapacityError:
@@ -85,6 +86,7 @@ func (m *MC) popFrame(now config.Time) (uint32, config.Time, bool) {
 	// compressed and written out. One eviction does not guarantee a free
 	// chunk (ML2 may carve a fresh super-chunk out of the very chunks it
 	// returns), so loop until the list yields or the Recency List is dry.
+	entry := now
 	for {
 		done, ok := m.evictOne(now)
 		if !ok {
@@ -96,14 +98,26 @@ func (m *MC) popFrame(now config.Time) (uint32, config.Time, bool) {
 			now = done
 		}
 		if c, ok := m.ml1.Pop(); ok {
+			m.emitPressure(entry, now)
 			return c, now, true
 		}
 	}
 	// Rung 3: overflow region beyond the nominal budget.
+	m.emitPressure(entry, now)
 	if c, ok := m.overflowAlloc(); ok {
 		return c, now, true
 	}
 	return 0, now, false
+}
+
+// emitPressure marks an emergency force-migration burst in the trace: one
+// CatPressure span covering the demand stall from ladder entry to frame
+// handoff, so capacity-pressure episodes line up against the windowed
+// pressure.* counter deltas on the same simulated-time axis.
+func (m *MC) emitPressure(entry, now config.Time) {
+	if now > entry {
+		m.ob.tr.Emit(obs.CatPressure, "emergency", obs.TIDMC, entry, now)
+	}
 }
 
 // overflowAlloc takes a frame from the overflow region: released frames

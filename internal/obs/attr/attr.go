@@ -103,6 +103,17 @@ func (c Class) String() string {
 	return classNames[c]
 }
 
+// ClassByName maps a stable class name back onto its Class (the inverse
+// of String); ok=false for unknown names.
+func ClassByName(name string) (Class, bool) {
+	for i, n := range classNames {
+		if n == name {
+			return Class(i), true
+		}
+	}
+	return 0, false
+}
+
 // Access is the per-access scratch record: one measured end-to-end
 // latency and its component decomposition. The MC fills the memory-side
 // components during Access; the simulator folds in walk/NoC time, sets
@@ -222,6 +233,40 @@ func (r *Recorder) Group(bench, kind string) *Group {
 		r.groups[k] = g
 	}
 	return g
+}
+
+// Merge folds a snapshot back into the recorder with the same
+// commutative atomic adds Record uses: merging the per-run private
+// recorders the timeline keeps is order-independent, so lifetime
+// aggregates stay identical at any worker count. It errors on class
+// names the recorder does not know or component vectors of the wrong
+// arity (both mean a corrupted snapshot, never data); nil-safe.
+func (r *Recorder) Merge(s Snapshot) error {
+	if r == nil {
+		return nil
+	}
+	for _, gs := range s.Groups {
+		g := r.Group(gs.Benchmark, gs.Kind)
+		for _, cs := range gs.Classes {
+			cl, ok := ClassByName(cs.Class)
+			if !ok {
+				return fmt.Errorf("attr: merge: unknown class %q", cs.Class)
+			}
+			if len(cs.CompPS) != int(NumComponents) {
+				return fmt.Errorf("attr: merge: %s/%s %s carries %d components, want %d",
+					gs.Benchmark, gs.Kind, cs.Class, len(cs.CompPS), NumComponents)
+			}
+			row := &g.rows[cl]
+			row.count.Add(cs.Count)
+			row.total.Add(cs.TotalPS)
+			for c, v := range cs.CompPS {
+				if v != 0 {
+					row.comp[c].Add(v)
+				}
+			}
+		}
+	}
+	return nil
 }
 
 // ClassSnapshot is one class's aggregate inside a group snapshot. CompPS

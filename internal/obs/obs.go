@@ -30,6 +30,7 @@ package obs
 import (
 	"tmcc/internal/config"
 	"tmcc/internal/obs/attr"
+	"tmcc/internal/obs/timeline"
 )
 
 // Span categories (the "cat" field of emitted trace events). Keep these in
@@ -40,6 +41,7 @@ const (
 	CatCTEFetch  = "cte.fetch"      // serial CTE fetches from DRAM
 	CatML2       = "ml2.decompress" // demand ML2 reads (decompress + respond)
 	CatMigration = "migration"      // ML1 -> ML2 eviction compress+writeout
+	CatPressure  = "pressure"       // capacity-pressure emergency migration bursts
 )
 
 // TIDMC is the trace thread id used for memory-controller-side spans;
@@ -54,6 +56,12 @@ type Observer struct {
 	Reg *Registry
 	Tr  *Tracer
 	At  *attr.Recorder
+	// TL, when non-nil, arms the windowed timeline: each observed run
+	// gets a private registry and attr recorder (via TimelineView) whose
+	// per-window deltas fold into TL and whose lifetime totals merge back
+	// into Reg/At at run end. Like At, TL rides outside the experiment
+	// engine's memo key.
+	TL *timeline.Recorder
 }
 
 // New returns an Observer with a fresh registry, a default-capacity
@@ -105,11 +113,13 @@ func (o *Observer) AttrGroup(bench, kind string) *attr.Group {
 }
 
 // SyncDerived refreshes registry values derived from the other sinks —
-// today the obs.trace.dropped gauge mirroring the tracer's overwrite
-// count. Call it before taking a snapshot that should carry them.
+// the obs.trace.dropped gauge mirroring the tracer's overwrite count and
+// obs.trace.retained mirroring the ring's current utilization. Call it
+// before taking a snapshot that should carry them.
 func (o *Observer) SyncDerived() {
 	if o == nil || o.Reg == nil || o.Tr == nil {
 		return
 	}
 	o.Reg.Gauge("obs.trace.dropped").Set(int64(o.Tr.Dropped()))
+	o.Reg.Gauge("obs.trace.retained").Set(int64(o.Tr.Retained()))
 }

@@ -7,6 +7,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"tmcc/internal/obs/timeline"
 )
 
 // Counter is a monotonically increasing uint64. The zero value is ready to
@@ -214,41 +216,48 @@ type Sample struct {
 // when that is negative); the overflow bucket has no upper edge, so any
 // rank landing there reports the last finite bound — a floor, clearly
 // labeled by being exactly the largest boundary. Non-histogram samples
-// and empty histograms report 0.
+// and empty histograms report 0, never NaN. The interpolation itself is
+// timeline.InterpQuantile, so lifetime samples and per-window deltas
+// share one implementation.
 func (s Sample) Quantile(q float64) float64 {
-	if s.Kind != "histogram" || s.Count == 0 || len(s.Bounds) == 0 {
+	if s.Kind != "histogram" {
 		return 0
 	}
-	if q < 0 {
-		q = 0
+	return timeline.InterpQuantile(s.Bounds, s.Counts, s.Count, q)
+}
+
+// Sub returns the element-wise difference s - prev for two samples of
+// the same path and kind — the primitive the timeline's windowed deltas
+// are built from. Histogram subtraction requires identical bucket
+// shapes; a mismatch returns an error instead of panicking, since
+// snapshots can come from files. Counter and gauge samples subtract
+// Value.
+func (s Sample) Sub(prev Sample) (Sample, error) {
+	if s.Path != prev.Path || s.Kind != prev.Kind {
+		return Sample{}, fmt.Errorf("obs: subtracting sample %s/%s from %s/%s", prev.Path, prev.Kind, s.Path, s.Kind)
 	}
-	if q > 1 {
-		q = 1
+	out := Sample{Path: s.Path, Kind: s.Kind}
+	if s.Kind != "histogram" {
+		out.Value = s.Value - prev.Value
+		return out, nil
 	}
-	target := q * float64(s.Count)
-	var cum uint64
-	for i, n := range s.Counts {
-		if n == 0 {
-			continue
-		}
-		if float64(cum+n) < target {
-			cum += n
-			continue
-		}
-		if i >= len(s.Bounds) {
-			return float64(s.Bounds[len(s.Bounds)-1])
-		}
-		lo := 0.0
-		if i > 0 {
-			lo = float64(s.Bounds[i-1])
-		} else if s.Bounds[0] < 0 {
-			lo = float64(s.Bounds[0])
-		}
-		hi := float64(s.Bounds[i])
-		frac := (target - float64(cum)) / float64(n)
-		return lo + (hi-lo)*frac
+	if len(s.Bounds) != len(prev.Bounds) || len(s.Counts) != len(prev.Counts) {
+		return Sample{}, fmt.Errorf("obs: histogram %q bucket-shape mismatch: %d/%d bounds, %d/%d buckets",
+			s.Path, len(s.Bounds), len(prev.Bounds), len(s.Counts), len(prev.Counts))
 	}
-	return float64(s.Bounds[len(s.Bounds)-1])
+	for i := range s.Bounds {
+		if s.Bounds[i] != prev.Bounds[i] {
+			return Sample{}, fmt.Errorf("obs: histogram %q bound %d differs: %d vs %d", s.Path, i, s.Bounds[i], prev.Bounds[i])
+		}
+	}
+	out.Count = s.Count - prev.Count
+	out.Sum = s.Sum - prev.Sum
+	out.Bounds = append([]int64(nil), s.Bounds...)
+	out.Counts = make([]uint64, len(s.Counts))
+	for i := range s.Counts {
+		out.Counts[i] = s.Counts[i] - prev.Counts[i]
+	}
+	return out, nil
 }
 
 // Snapshot is a point-in-time copy of every registered instrument, sorted
@@ -287,6 +296,45 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
 	return Snapshot{Samples: out}
+}
+
+// Merge folds a snapshot into the registry: counters add their value,
+// gauges take the snapshot's value (last writer wins, like Set), and
+// histograms add bucket-wise — get-or-create with the snapshot's bounds,
+// erroring on a bucket-shape mismatch with an already-registered
+// histogram. Merging the timeline's per-run private registries this way
+// keeps lifetime aggregates identical to direct shared-registry bumping:
+// every fold is commutative. Nil-safe.
+func (r *Registry) Merge(s Snapshot) error {
+	if r == nil {
+		return nil
+	}
+	for _, sm := range s.Samples {
+		switch sm.Kind {
+		case "counter":
+			r.Counter(sm.Path).Add(uint64(sm.Value))
+		case "gauge":
+			r.Gauge(sm.Path).Set(sm.Value)
+		case "histogram":
+			h := r.Histogram(sm.Path, sm.Bounds)
+			if len(h.bounds) != len(sm.Bounds) || len(h.buckets) != len(sm.Counts) {
+				return fmt.Errorf("obs: merge: histogram %q bucket-shape mismatch", sm.Path)
+			}
+			for i := range h.bounds {
+				if h.bounds[i] != sm.Bounds[i] {
+					return fmt.Errorf("obs: merge: histogram %q bound %d differs: %d vs %d", sm.Path, i, h.bounds[i], sm.Bounds[i])
+				}
+			}
+			for i, n := range sm.Counts {
+				h.buckets[i].Add(n)
+			}
+			h.count.Add(sm.Count)
+			h.sum.Add(sm.Sum)
+		default:
+			return fmt.Errorf("obs: merge: sample %q has unknown kind %q", sm.Path, sm.Kind)
+		}
+	}
+	return nil
 }
 
 // Get returns the sample at path, if present.

@@ -1,0 +1,270 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"tmcc/internal/config"
+	"tmcc/internal/obs/attr"
+	"tmcc/internal/obs/timeline"
+)
+
+// TestSampleSub pins the delta primitive: counters and gauges subtract
+// Value, histograms subtract element-wise, and any mismatch (path, kind,
+// bucket shape, bound values) is an error — never a panic, because
+// snapshots can come from files.
+func TestSampleSub(t *testing.T) {
+	a := Sample{Path: "c", Kind: "counter", Value: 10}
+	b := Sample{Path: "c", Kind: "counter", Value: 3}
+	d, err := a.Sub(b)
+	if err != nil || d.Value != 7 {
+		t.Fatalf("counter sub = %+v, %v; want Value 7", d, err)
+	}
+
+	h1 := Sample{Path: "h", Kind: "histogram", Count: 5, Sum: 100, Bounds: []int64{10, 20}, Counts: []uint64{2, 2, 1}}
+	h0 := Sample{Path: "h", Kind: "histogram", Count: 2, Sum: 30, Bounds: []int64{10, 20}, Counts: []uint64{1, 1, 0}}
+	d, err = h1.Sub(h0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Count != 3 || d.Sum != 70 || d.Counts[0] != 1 || d.Counts[2] != 1 {
+		t.Errorf("histogram sub = %+v", d)
+	}
+
+	if _, err := a.Sub(Sample{Path: "other", Kind: "counter"}); err == nil {
+		t.Error("path mismatch accepted")
+	}
+	if _, err := a.Sub(Sample{Path: "c", Kind: "gauge"}); err == nil {
+		t.Error("kind mismatch accepted")
+	}
+	bad := h0
+	bad.Bounds = []int64{10}
+	bad.Counts = []uint64{1, 1}
+	if _, err := h1.Sub(bad); err == nil {
+		t.Error("bucket-count mismatch accepted")
+	}
+	bad = h0
+	bad.Bounds = []int64{10, 30}
+	if _, err := h1.Sub(bad); err == nil {
+		t.Error("bound-value mismatch accepted")
+	}
+}
+
+// TestRegistryMerge: merging a snapshot adds counters and histogram
+// buckets, overwrites gauges, and rejects shape mismatches — the fold
+// TimelineView.Close relies on being lossless.
+func TestRegistryMerge(t *testing.T) {
+	dst := NewRegistry()
+	dst.Counter("c").Add(5)
+	dst.Gauge("g").Set(1)
+	dst.Histogram("h", []int64{10}).Observe(4)
+
+	src := NewRegistry()
+	src.Counter("c").Add(2)
+	src.Counter("new").Add(9)
+	src.Gauge("g").Set(42)
+	src.Histogram("h", []int64{10}).Observe(25) // overflow bucket
+
+	if err := dst.Merge(src.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	snap := dst.Snapshot()
+	want := map[string]int64{"c": 7, "new": 9, "g": 42}
+	for path, v := range want {
+		if s, ok := snap.Get(path); !ok || s.Value != v {
+			t.Errorf("%s = %+v, want value %d", path, s, v)
+		}
+	}
+	h, _ := snap.Get("h")
+	if h.Count != 2 || h.Sum != 29 || h.Counts[0] != 1 || h.Counts[1] != 1 {
+		t.Errorf("merged histogram = %+v", h)
+	}
+
+	clash := NewRegistry()
+	clash.Histogram("h", []int64{10, 20}).Observe(1)
+	if err := dst.Merge(clash.Snapshot()); err == nil {
+		t.Error("bucket-shape mismatch accepted by Merge")
+	}
+}
+
+// record puts one synthetic conserved access into the view's attr group.
+func record(v *TimelineView, bench, kind string, walk, overlap int64) {
+	var a attr.Access
+	a.Class = attr.ClassDemand
+	a.Add(attr.CWalk, config.Picos(walk))
+	a.Add(attr.CCTEParallel, config.Picos(2*overlap))
+	a.Add(attr.COverlap, config.Picos(overlap))
+	a.Total = a.AttributedSum()
+	v.Observer().At.Group(bench, kind).Record(&a)
+}
+
+// TestTimelineViewWindowing drives a view through three windows with
+// synthetic bumps and checks window assignment (edge rule included), the
+// Close merge, and VerifyTimeline's exact conservation — the unit-level
+// version of what the sim wires per run.
+func TestTimelineViewWindowing(t *testing.T) {
+	shared := New() // Reg + Tr + At
+	shared.TL = timeline.NewRecorder(config.Microsecond)
+	v := shared.TimelineView("canneal", "tmcc")
+	if v == nil {
+		t.Fatal("TimelineView returned nil with TL armed")
+	}
+	ob := v.Observer()
+	if ob.Reg == shared.Reg || ob.At == shared.At {
+		t.Fatal("derived observer shares lifetime sinks; deltas would double-count")
+	}
+	if ob.TL != nil {
+		t.Fatal("derived observer carries a timeline recorder; views must not nest")
+	}
+
+	c := ob.Reg.Counter("test.hits")
+	h := ob.Reg.Histogram("test.lat", []int64{100})
+	ob.Reg.Gauge("test.level").Set(7) // gauges must stay out of windows
+
+	// Window 0: (0, 1us].
+	c.Add(3)
+	h.Observe(50)
+	record(v, "canneal", "tmcc", 1000, 200)
+	v.Advance(config.Microsecond) // exactly on the edge: still window 0
+	c.Add(2)                      // must still land in window 0
+	v.Advance(config.Microsecond + 1)
+
+	// Window 1us: (1us, 2us].
+	c.Add(10)
+	h.Observe(500)
+	record(v, "canneal", "tmcc", 700, 0)
+	v.Advance(3*config.Microsecond + 1)
+
+	// Window 3us (window 2us is skipped entirely — empty windows are
+	// absent, not zero-filled).
+	c.Add(1)
+	v.Close()
+	v.Close() // idempotent
+
+	snap := shared.TL.Snapshot()
+	if len(snap.Groups) != 1 {
+		t.Fatalf("groups = %+v", snap.Groups)
+	}
+	g := snap.Groups[0]
+	if g.Benchmark != "canneal" || g.Kind != "tmcc" {
+		t.Fatalf("group identity = %s/%s", g.Benchmark, g.Kind)
+	}
+	starts := []int64{}
+	for _, w := range g.Windows {
+		starts = append(starts, w.StartPS)
+	}
+	wantStarts := []int64{0, int64(config.Microsecond), int64(3 * config.Microsecond)}
+	if len(starts) != 3 || starts[0] != wantStarts[0] || starts[1] != wantStarts[1] || starts[2] != wantStarts[2] {
+		t.Fatalf("window starts = %v, want %v", starts, wantStarts)
+	}
+
+	counterIn := func(w timeline.Window, path string) uint64 {
+		for _, cd := range w.Counters {
+			if cd.Path == path {
+				return cd.Delta
+			}
+		}
+		return 0
+	}
+	// The edge-time Add(2) belongs to window 0: 3+2.
+	if got := counterIn(g.Windows[0], "test.hits"); got != 5 {
+		t.Errorf("window 0 test.hits = %d, want 5 (edge bump must land early)", got)
+	}
+	if got := counterIn(g.Windows[1], "test.hits"); got != 10 {
+		t.Errorf("window 1us test.hits = %d, want 10", got)
+	}
+	if got := counterIn(g.Windows[2], "test.hits"); got != 1 {
+		t.Errorf("window 3us test.hits = %d, want 1", got)
+	}
+	for _, w := range g.Windows {
+		for _, cd := range w.Counters {
+			if cd.Path == "test.level" {
+				t.Error("gauge leaked into the timeline")
+			}
+		}
+	}
+	if len(g.Windows[0].Hists) != 1 || g.Windows[0].Hists[0].Count != 1 || g.Windows[0].Hists[0].Sum != 50 {
+		t.Errorf("window 0 hists = %+v", g.Windows[0].Hists)
+	}
+	if len(g.Windows[0].Attr) != 1 || !g.Windows[0].Attr[0].Conserved() {
+		t.Errorf("window 0 attr = %+v", g.Windows[0].Attr)
+	}
+
+	// Close merged the private totals into the lifetime sinks...
+	if s, ok := shared.Reg.Snapshot().Get("test.hits"); !ok || s.Value != 16 {
+		t.Errorf("lifetime test.hits = %+v, want 16", s)
+	}
+	// ...so conservation verifies exactly.
+	if err := VerifyTimeline(snap, shared.Reg.Snapshot(), shared.At.Snapshot()); err != nil {
+		t.Fatalf("VerifyTimeline: %v", err)
+	}
+
+	// And VerifyTimeline actually detects drift: bump the lifetime counter
+	// past the windowed sum.
+	shared.Reg.Counter("test.hits").Inc()
+	err := VerifyTimeline(snap, shared.Reg.Snapshot(), shared.At.Snapshot())
+	if err == nil || !strings.Contains(err.Error(), "test.hits") {
+		t.Fatalf("VerifyTimeline missed a lifetime/window mismatch: %v", err)
+	}
+}
+
+// TestTimelineViewNilPaths: a nil view (timeline off) ignores everything,
+// and an observer without TL derives no view.
+func TestTimelineViewNilPaths(t *testing.T) {
+	var v *TimelineView
+	v.Advance(123)
+	v.Close()
+	if New().TimelineView("b", "k") != nil {
+		t.Error("TimelineView non-nil without a recorder")
+	}
+	var o *Observer
+	if o.TimelineView("b", "k") != nil {
+		t.Error("TimelineView non-nil on nil observer")
+	}
+}
+
+// TestAttrClassByNameRoundTrip: every class name maps back onto its class
+// (the timeline flush depends on the inverse being total), unknown names
+// fail.
+func TestAttrClassByNameRoundTrip(t *testing.T) {
+	for cl := attr.Class(0); cl < attr.NumClasses; cl++ {
+		got, ok := attr.ClassByName(cl.String())
+		if !ok || got != cl {
+			t.Errorf("ClassByName(%q) = %v, %v", cl.String(), got, ok)
+		}
+	}
+	if _, ok := attr.ClassByName("nope"); ok {
+		t.Error("unknown class name resolved")
+	}
+}
+
+// TestAttrRecorderMerge: merging a snapshot adds counts, totals, and
+// components; merging twice doubles them (commutative fold).
+func TestAttrRecorderMerge(t *testing.T) {
+	src := attr.NewRecorder()
+	var a attr.Access
+	a.Class = attr.ClassDemand
+	a.Add(attr.CWalk, 300)
+	a.Total = a.AttributedSum()
+	src.Group("canneal", "tmcc").Record(&a)
+	snap := src.Snapshot()
+
+	dst := attr.NewRecorder()
+	if err := dst.Merge(snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.Merge(snap); err != nil {
+		t.Fatal(err)
+	}
+	got := dst.Snapshot()
+	if len(got.Groups) != 1 || len(got.Groups[0].Classes) != 1 {
+		t.Fatalf("merged snapshot = %+v", got)
+	}
+	cs := got.Groups[0].Classes[0]
+	if cs.Count != 2 || cs.TotalPS != 600 || cs.CompPS[attr.CWalk] != 600 {
+		t.Errorf("double merge = %+v, want count 2 total 600", cs)
+	}
+	if err := got.Conserved(); err != nil {
+		t.Errorf("merged snapshot not conserved: %v", err)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"tmcc/internal/config"
+	"tmcc/internal/obs/timeline"
 )
 
 // Span is one completed interval in simulated time.
@@ -95,19 +96,42 @@ func (t *Tracer) Dropped() uint64 {
 	return t.dropped
 }
 
-// traceEvent is one Chrome trace_event record ("X" = complete event). The
-// "ts"/"dur" fields are microseconds by the format's definition; we map
-// simulated picoseconds onto them (1 simulated ps -> 1e-6 trace µs), so a
-// nanosecond of simulated time renders as a millisecond-free 0.001 µs —
-// Perfetto and chrome://tracing both display sub-µs spans fine.
+// Retained reports how many spans the ring currently holds — the
+// utilization SyncDerived exports as obs.trace.retained next to the
+// dropped count, so "is the ring big enough" is answerable from one
+// snapshot.
+func (t *Tracer) Retained() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.wrapped {
+		return len(t.ring)
+	}
+	return t.next
+}
+
+// traceEvent is one Chrome trace_event record ("X" = complete event,
+// "C" = counter track sample). The "ts"/"dur" fields are microseconds by
+// the format's definition; we map simulated picoseconds onto them (1
+// simulated ps -> 1e-6 trace µs), so a nanosecond of simulated time
+// renders as a millisecond-free 0.001 µs — Perfetto and chrome://tracing
+// both display sub-µs spans fine.
 type traceEvent struct {
-	Name string  `json:"name"`
-	Cat  string  `json:"cat"`
-	Ph   string  `json:"ph"`
-	TS   float64 `json:"ts"`
-	Dur  float64 `json:"dur"`
-	PID  int     `json:"pid"`
-	TID  int32   `json:"tid"`
+	Name string     `json:"name"`
+	Cat  string     `json:"cat"`
+	Ph   string     `json:"ph"`
+	TS   float64    `json:"ts"`
+	Dur  float64    `json:"dur"`
+	PID  int        `json:"pid"`
+	TID  int32      `json:"tid"`
+	Args *eventArgs `json:"args,omitempty"`
+}
+
+// eventArgs carries a counter event's sampled value ("C" events only).
+type eventArgs struct {
+	Value uint64 `json:"value"`
 }
 
 type traceFile struct {
@@ -122,6 +146,17 @@ type traceFile struct {
 // deterministically. Timestamps are simulated time — open the file in
 // Perfetto or chrome://tracing and the timeline is cycles, not wall time.
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	return t.WriteChromeTraceTimeline(w, timeline.Snapshot{})
+}
+
+// WriteChromeTraceTimeline writes the retained spans plus one "C"
+// (counter-track) event per (window, counter path) from the timeline
+// snapshot, so windowed metrics render as tracks under the spans. Runs
+// all start at simulated t=0 and overlay one time axis in the trace, so
+// counter deltas aggregate across (benchmark, kind) groups per window —
+// the per-group series stays in the -timeline CSV. Counter events sort
+// by (ts, name) after the spans; the whole file stays deterministic.
+func (t *Tracer) WriteChromeTraceTimeline(w io.Writer, tl timeline.Snapshot) error {
 	spans := t.Spans()
 	sort.SliceStable(spans, func(i, j int) bool {
 		a, b := spans[i], spans[j]
@@ -144,6 +179,7 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	if d := t.Dropped(); d > 0 {
 		f.OtherData["droppedSpans"] = fmt.Sprintf("%d", d)
 	}
+	f.OtherData["retainedSpans"] = fmt.Sprintf("%d", t.Retained())
 	for _, s := range spans {
 		f.TraceEvents = append(f.TraceEvents, traceEvent{
 			Name: s.Name,
@@ -155,6 +191,45 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 			TID:  s.TID,
 		})
 	}
+	f.TraceEvents = append(f.TraceEvents, counterEvents(tl)...)
 	enc := json.NewEncoder(w)
 	return enc.Encode(f)
+}
+
+// counterEvents flattens a timeline snapshot into "C" events: counter
+// deltas summed across groups per (window, path), sorted by (ts, name).
+func counterEvents(tl timeline.Snapshot) []traceEvent {
+	type key struct {
+		start int64
+		path  string
+	}
+	sums := map[key]uint64{}
+	for _, g := range tl.Groups {
+		for _, win := range g.Windows {
+			for _, cd := range win.Counters {
+				sums[key{win.StartPS, cd.Path}] += cd.Delta
+			}
+		}
+	}
+	keys := make([]key, 0, len(sums))
+	for k := range sums {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].start != keys[j].start {
+			return keys[i].start < keys[j].start
+		}
+		return keys[i].path < keys[j].path
+	})
+	out := make([]traceEvent, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, traceEvent{
+			Name: k.path,
+			Cat:  "timeline",
+			Ph:   "C",
+			TS:   float64(k.start) / 1e6,
+			Args: &eventArgs{Value: sums[k]},
+		})
+	}
+	return out
 }

@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"tmcc/internal/obs/attr"
+	"tmcc/internal/obs/timeline"
 )
 
 // WatchSnapshot is the unit tmccsim -watchfile emits periodically and
@@ -15,10 +16,11 @@ import (
 // UnixNanos is wall-clock metadata stamped by the cmd layer (internal/
 // never reads a wall clock — the field is zero unless a cmd fills it).
 type WatchSnapshot struct {
-	Seq       uint64        `json:"seq"`
-	UnixNanos int64         `json:"unixNanos,omitempty"`
-	Metrics   Snapshot      `json:"metrics"`
-	Attr      attr.Snapshot `json:"attr"`
+	Seq       uint64            `json:"seq"`
+	UnixNanos int64             `json:"unixNanos,omitempty"`
+	Metrics   Snapshot          `json:"metrics"`
+	Attr      attr.Snapshot     `json:"attr"`
+	Timeline  timeline.Snapshot `json:"timeline,omitempty"`
 }
 
 // Watch assembles a watch frame from the observer's current state,
@@ -31,6 +33,9 @@ func (o *Observer) Watch(seq uint64, unixNanos int64) WatchSnapshot {
 	o.SyncDerived()
 	ws.Metrics = o.Reg.Snapshot()
 	ws.Attr = o.At.Snapshot()
+	if o.TL != nil {
+		ws.Timeline = o.TL.Snapshot()
+	}
 	return ws
 }
 

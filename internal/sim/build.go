@@ -63,6 +63,15 @@ func NewRunnerInjected(opt Options, ob *obs.Observer, inj *fault.Injector) (*Run
 	if sys.CPU.Cores == 0 {
 		sys = config.Default()
 	}
+	// When a timeline recorder rides the observer, shadow ob with the
+	// view's derived observer (private registry + attr recorder, shared
+	// tracer): every bump site below then feeds the windowed timeline
+	// unchanged, and the private totals merge back at run close.
+	tlv := ob.TimelineView(opt.Benchmark, opt.Kind.String())
+	if tlv != nil {
+		ob = tlv.Observer()
+	}
+	inj.Observe(ob)
 	sizes, err := workload.NewSizeModelObserved(opt.Benchmark, 256, opt.Seed, memdeflate.DefaultParams(), ob)
 	if err != nil {
 		return nil, err
@@ -140,6 +149,7 @@ func NewRunnerInjected(opt Options, ob *obs.Observer, inj *fault.Injector) (*Run
 		sizes: sizes,
 		mcc:   mcc,
 		inj:   inj,
+		tlv:   tlv,
 		l3:    cache.New(sys.Cache.L3SizeMB*config.MiB, sys.Cache.Assoc*2),
 		rng:   rand.New(rand.NewSource(opt.Seed + 77)),
 		cycle: sys.CPU.Cycle(),

@@ -43,6 +43,9 @@ func (r *Runner) Run() (Metrics, error) {
 	r.m.DRAMWrites = d.Stats.Writes
 	r.m.BusUtilization = d.BusUtilization(r.m.Elapsed)
 	r.m.RowHitRate = d.RowHitRate()
+	// Fold the final partial window and merge the run's private sinks into
+	// the lifetime registry/attr recorder (no-op when the timeline is off).
+	r.tlv.Close()
 	if err := r.mcc.Err(); err != nil {
 		return r.m, fmt.Errorf("sim: %s/%s aborted: %w", r.opt.Benchmark, r.opt.Kind, err)
 	}
@@ -91,6 +94,9 @@ func (r *Runner) runAccesses(n int) {
 				r.step(c)
 			}
 			done += chunk
+			// Timeline window-edge check, batch-paced like the error check:
+			// one branch when the timeline is off.
+			r.tlv.Advance(c.time)
 		}
 		return
 	}
@@ -111,6 +117,9 @@ func (r *Runner) runAccesses(n int) {
 			r.siftDown(0)
 		}
 		done += chunk
+		// The heap root carries the earliest core clock, which is monotone
+		// non-decreasing across batches — a safe timeline edge probe.
+		r.tlv.Advance(r.heap[0].time)
 	}
 }
 

@@ -228,6 +228,12 @@ type Runner struct {
 	recording bool
 	sob       simObs
 
+	// tlv is the run's timeline view (nil when the timeline is off): the
+	// batch loop advances it once per batch and Run closes it, folding
+	// per-window deltas into the shared recorder and merging the private
+	// lifetime totals back. Nil costs one branch per batch.
+	tlv *obs.TimelineView
+
 	// inj is the run's fault injector (nil in healthy runs). The simulator
 	// owns the embedded-CTE fault site — the PTB/CTE-Buffer machinery lives
 	// here — while the MC holds the payload and DRAM sites.
