@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint test race debug fuzz-smoke fmt bench core-bench-smoke engine-smoke obs-smoke breakdown-smoke chaos-smoke timeline-smoke bench-record
+.PHONY: all build lint test race debug fuzz-smoke fmt bench core-bench-smoke engine-smoke obs-smoke breakdown-smoke chaos-smoke timeline-smoke heatmap-smoke bench-record bench-check
 
 all: lint test
 
@@ -179,8 +179,48 @@ timeline-smoke:
 	/tmp/tmcctop -validate-trace /tmp/tmcc_tl.trace | grep -q 'counters'
 	@echo "timeline-smoke: windows conserve, -j byte-identity, plain output untouched"
 
+# heatmap-smoke proves the address-space heatmap path end to end:
+#   1. a -heatmap run renders the scorecard byte-identically to a plain run;
+#   2. the heatmap CSV is byte-identical at -j 1 and -j 4;
+#   3. every (benchmark, kind, series, name) conserves — region rows sum to
+#      the group's independently accumulated total row, for both the count
+#      and sum columns — checked independently in awk;
+#   4. the heat-bar renderer consumes a watch file carrying a heatmap.
+heatmap-smoke:
+	$(GO) build -o /tmp/tmccsim ./cmd/tmccsim
+	$(GO) build -o /tmp/tmcctop ./cmd/tmcctop
+	/tmp/tmccsim -exp fig18 -quick -format csv > /tmp/tmccsim_nohm.csv
+	/tmp/tmccsim -exp fig18 -quick -format csv -j 1 \
+		-heatmap /tmp/tmcc_hm_j1.csv > /tmp/tmccsim_hm.csv 2> /dev/null
+	diff -u /tmp/tmccsim_nohm.csv /tmp/tmccsim_hm.csv
+	/tmp/tmccsim -exp fig18 -quick -format csv -j 4 \
+		-heatmap /tmp/tmcc_hm_j4.csv > /dev/null 2> /dev/null
+	diff -u /tmp/tmcc_hm_j1.csv /tmp/tmcc_hm_j4.csv
+	awk -F, 'NR>1 { key=$$1","$$2","$$4","$$5; \
+		if ($$3=="total") { tot[key]=$$6; tsum[key]=$$7 } \
+		else { s[key]+=$$6; ssum[key]+=$$7; found=1 } } \
+		END { if (!found) { print "no region rows in heatmap CSV"; exit 1 } \
+		for (k in s) if (s[k] != tot[k]+0 || ssum[k] != tsum[k]+0) { \
+			print "unconserved series: " k; exit 1 } }' /tmp/tmcc_hm_j1.csv
+	grep -q ',heat,demand,' /tmp/tmcc_hm_j1.csv
+	grep -q ',residency,' /tmp/tmcc_hm_j1.csv
+	/tmp/tmccsim -run canneal -kind tmcc -quick \
+		-watchfile /tmp/tmcc_hm.watch -watch-every 50ms \
+		-heatmap /tmp/tmcc_hm_run.csv > /dev/null 2> /dev/null
+	/tmp/tmcctop -heatmap /tmp/tmcc_hm.watch -iters 1 | grep -q 'regions'
+	@echo "heatmap-smoke: regions conserve, -j byte-identity, plain output untouched"
+
 # bench-record appends this machine's flags-off quick-suite measurement to
 # the committed perf ledger; review the BENCH_trajectory.json diff to spot
 # regressions PR over PR.
 bench-record:
 	$(GO) run ./cmd/tmccbench
+
+# bench-check measures the same suite and compares against the ledger's
+# newest entry without writing anything: exits nonzero when wall time grew
+# past BENCH_TOLERANCE (a fraction; 0.5 = +50%, loose enough for shared
+# CI runners). No comparable baseline (missing/empty ledger, different
+# machine) passes with a note.
+BENCH_TOLERANCE ?= 0.5
+bench-check:
+	$(GO) run ./cmd/tmccbench -check -tolerance $(BENCH_TOLERANCE)

@@ -7,9 +7,13 @@
 //	tmccbench                 append a flags-off quick-suite entry
 //	tmccbench -note "..."     label the entry
 //	tmccbench -dry-run        print the entry without touching the ledger
+//	tmccbench -check          measure, compare against the ledger's last
+//	                          entry, and exit nonzero on a wall-time
+//	                          regression beyond -tolerance (never writes)
 //
 // The ledger is committed, so `make bench-record` plus a glance at the
-// diff is the whole perf-review workflow.
+// diff is the whole perf-review workflow; `make bench-check` turns the
+// same ledger into a CI-optional regression gate.
 package main
 
 import (
@@ -55,6 +59,8 @@ func main() {
 		date   = flag.String("date", "", "entry date (YYYY-MM-DD; default today)")
 		commit = flag.String("commit", "", "commit id stored with the entry (default: git rev-parse --short HEAD)")
 		dry    = flag.Bool("dry-run", false, "measure and print the entry without writing the ledger")
+		chk    = flag.Bool("check", false, "compare against the ledger's newest entry instead of appending; exit 1 on regression")
+		tol    = flag.Float64("tolerance", 0.5, "with -check: allowed fractional wall-time growth over the last entry (0.5 = +50%)")
 	)
 	flag.Parse()
 
@@ -102,6 +108,12 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("%s\n", b)
+	if *chk {
+		if err := checkEntry(*out, e, *tol); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *dry {
 		return
 	}
@@ -109,6 +121,47 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("appended to %s\n", *out)
+}
+
+// checkEntry compares the fresh measurement against the ledger's newest
+// entry and errors when wall time grew beyond the tolerance. A missing or
+// empty ledger, or one recorded on a different machine, is not a failure
+// — there is simply no comparable baseline, so the gate reports that and
+// passes (keeping `make bench-check` safe on fresh clones and CI runners
+// that differ from the ledger's hardware). -check never writes the ledger.
+func checkEntry(path string, e entry, tolerance float64) error {
+	b, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		fmt.Printf("check: no ledger at %s; nothing to compare against\n", path)
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	var l ledger
+	if err := json.Unmarshal(b, &l); err != nil {
+		return fmt.Errorf("tmccbench: %s exists but is not a trajectory ledger: %v", path, err)
+	}
+	if len(l.Entries) == 0 {
+		fmt.Printf("check: ledger %s has no entries; nothing to compare against\n", path)
+		return nil
+	}
+	if l.Machine != machine() {
+		fmt.Printf("check: ledger machine %q differs from this host %q; baseline not comparable\n", l.Machine, machine())
+		return nil
+	}
+	last := l.Entries[len(l.Entries)-1]
+	limit := int64(float64(last.WallMS) * (1 + tolerance))
+	verdict := "ok"
+	if e.WallMS > limit {
+		verdict = "REGRESSION"
+	}
+	fmt.Printf("check: wall %dms vs baseline %dms (%s, jobs=%d) — limit %dms at +%.0f%%: %s\n",
+		e.WallMS, last.WallMS, last.Date, last.Jobs, limit, tolerance*100, verdict)
+	if verdict != "ok" {
+		return fmt.Errorf("tmccbench: quick suite regressed past tolerance; investigate before re-recording the ledger")
+	}
+	return nil
 }
 
 func fatal(err error) {

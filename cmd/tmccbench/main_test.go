@@ -1,0 +1,82 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeLedger drops a one-entry ledger at path with the given machine
+// label and baseline wall time.
+func writeLedger(t *testing.T, path, mach string, wallMS int64) {
+	t.Helper()
+	l := ledger{
+		Description: defaultDescription,
+		Machine:     mach,
+		Entries:     []entry{{Date: "2026-01-01", Commit: "abc1234", Jobs: 1, WallMS: wallMS}},
+	}
+	b, err := json.MarshalIndent(l, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckEntryPassesWithinTolerance(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "traj.json")
+	writeLedger(t, path, machine(), 100)
+	if err := checkEntry(path, entry{WallMS: 140}, 0.5); err != nil {
+		t.Fatalf("within tolerance flagged as regression: %v", err)
+	}
+}
+
+func TestCheckEntryFlagsRegression(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "traj.json")
+	writeLedger(t, path, machine(), 100)
+	err := checkEntry(path, entry{WallMS: 151}, 0.5)
+	if err == nil {
+		t.Fatal("regression past tolerance not flagged")
+	}
+	if !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestCheckEntryNoBaseline: a missing ledger, an empty one, and one from
+// another machine all pass — there is nothing comparable to gate on.
+func TestCheckEntryNoBaseline(t *testing.T) {
+	dir := t.TempDir()
+
+	if err := checkEntry(filepath.Join(dir, "absent.json"), entry{WallMS: 1}, 0.5); err != nil {
+		t.Fatalf("missing ledger failed the gate: %v", err)
+	}
+
+	empty := filepath.Join(dir, "empty.json")
+	b, _ := json.Marshal(ledger{Machine: machine()})
+	if err := os.WriteFile(empty, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkEntry(empty, entry{WallMS: 1}, 0.5); err != nil {
+		t.Fatalf("empty ledger failed the gate: %v", err)
+	}
+
+	foreign := filepath.Join(dir, "foreign.json")
+	writeLedger(t, foreign, "plan9/mips, 1 CPU", 1)
+	if err := checkEntry(foreign, entry{WallMS: 9999}, 0.5); err != nil {
+		t.Fatalf("foreign-machine ledger failed the gate: %v", err)
+	}
+}
+
+func TestCheckEntryRejectsGarbageLedger(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkEntry(path, entry{WallMS: 1}, 0.5); err == nil {
+		t.Fatal("garbage ledger accepted")
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"tmcc/internal/mc"
 	"tmcc/internal/obs"
 	"tmcc/internal/obs/attr"
+	"tmcc/internal/obs/heatmap"
 	"tmcc/internal/obs/timeline"
 	"tmcc/internal/sim"
 )
@@ -58,6 +59,9 @@ func main() {
 
 		timelineOut    = flag.String("timeline", "", "write the windowed timeline CSV to this file at exit")
 		timelineWindow = flag.Duration("timeline-window", time.Millisecond, "simulated-time window width for -timeline (a wall-clock syntax naming a simulated duration)")
+
+		heatmapOut    = flag.String("heatmap", "", "write the address-space heatmap CSV to this file at exit (top regions table on stderr)")
+		heatmapRegion = flag.Uint64("heatmap-region", heatmap.DefaultRegionPages, "heatmap region size in 4KB pages (rounded up to a power of two)")
 
 		breakdown    = flag.Bool("breakdown", false, "print the latency-attribution breakdown table (stderr) at exit")
 		breakdownCSV = flag.String("breakdown-csv", "", "write the latency-attribution breakdown CSV to this file at exit")
@@ -107,16 +111,21 @@ func main() {
 	// plain run stays on the nil fast path.
 	needAttr := *breakdown || *breakdownCSV != "" || *flame != "" || *watchfile != ""
 	needTimeline := *timelineOut != ""
+	needHeatmap := *heatmapOut != ""
 	var ob *obs.Observer
-	if *metrics != "" || *trace != "" || needAttr || needTimeline {
+	if *metrics != "" || *trace != "" || needAttr || needTimeline || needHeatmap {
 		ob = &obs.Observer{}
-		if *metrics != "" || *watchfile != "" || needTimeline {
+		if *metrics != "" || *watchfile != "" || needTimeline || needHeatmap {
+			// The heatmap arms the registry too: VerifyHeatmap audits the
+			// per-region event sums against the lifetime mc.* counters.
 			ob.Reg = obs.NewRegistry()
 		}
 		if *trace != "" {
 			ob.Tr = obs.NewTracer(0)
 		}
-		if needAttr || needTimeline {
+		if needAttr || needTimeline || needHeatmap {
+			// Likewise, per-class heat is audited against the lifetime attr
+			// class counts.
 			ob.At = attr.NewRecorder()
 		}
 		if needTimeline {
@@ -124,6 +133,9 @@ func main() {
 			// (1ms = one simulated millisecond); internal/ never sees the
 			// wall clock.
 			ob.TL = timeline.NewRecorder(config.Time(timelineWindow.Nanoseconds()) * config.Nanosecond)
+		}
+		if needHeatmap {
+			ob.Heat = heatmap.NewRecorder(*heatmapRegion, 0)
 		}
 		eng.SetObserver(ob)
 	}
@@ -196,6 +208,12 @@ func main() {
 	}
 	if needTimeline {
 		if err := writeTimeline(*timelineOut, ob); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if needHeatmap {
+		if err := writeHeatmap(*heatmapOut, ob); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -396,6 +414,30 @@ func writeTimeline(path string, ob *obs.Observer) error {
 	defer f.Close()
 	if err := tl.WriteCSV(f); err != nil {
 		return fmt.Errorf("timeline: %w", err)
+	}
+	return nil
+}
+
+// writeHeatmap audits the heatmap against the lifetime sinks (region
+// sums must equal the independently accumulated group totals, and those
+// must match the lifetime registry counters and attr class counts
+// exactly) before writing the per-region CSV into path, then prints the
+// collapsed top-regions table on stderr.
+func writeHeatmap(path string, ob *obs.Observer) error {
+	hm := ob.Heat.Snapshot()
+	if err := obs.VerifyHeatmap(hm, ob.Reg.Snapshot(), ob.At.Snapshot()); err != nil {
+		return fmt.Errorf("heatmap: %w", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("heatmap: %w", err)
+	}
+	defer f.Close()
+	if err := hm.WriteCSV(f); err != nil {
+		return fmt.Errorf("heatmap: %w", err)
+	}
+	if err := hm.WriteTopRegions(os.Stderr, 10); err != nil {
+		return fmt.Errorf("heatmap: %w", err)
 	}
 	return nil
 }

@@ -10,6 +10,14 @@
 //	tmcctop -timeline live.json   live mode: unicode sparklines of the watch
 //	                              file's windowed timeline (tmccsim must run
 //	                              with both -watchfile and -timeline)
+//	tmcctop -heatmap live.json    live mode: hottest address-space regions as
+//	                              heat bars colored by dominant residency tier
+//	                              (tmccsim must run with both -watchfile and
+//	                              -heatmap)
+//
+// A watch file missing the requested section is not an error: -timeline
+// falls back to the frame's heatmap and -heatmap to its timeline, so a
+// live view keeps rendering whatever the emitter actually carries.
 //
 // Snapshots come from `tmccsim -metrics`, traces from `tmccsim -trace`,
 // watch files from `tmccsim -watchfile`.
@@ -26,7 +34,9 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"tmcc/internal/config"
 	"tmcc/internal/obs"
+	"tmcc/internal/obs/heatmap"
 	"tmcc/internal/obs/timeline"
 )
 
@@ -34,6 +44,7 @@ func main() {
 	validate := flag.String("validate-trace", "", "validate a Chrome trace file instead of rendering snapshots")
 	watch := flag.String("watch", "", "live mode: re-render this tmccsim -watchfile output until interrupted")
 	tlWatch := flag.String("timeline", "", "live mode: render this watch file's windowed timeline as sparklines")
+	hmWatch := flag.String("heatmap", "", "live mode: render this watch file's address-space heatmap as residency-colored heat bars")
 	every := flag.Duration("every", 2*time.Second, "refresh period for -watch/-timeline")
 	iters := flag.Int("iters", 0, "with -watch/-timeline: stop after N refreshes (0 = run until interrupted)")
 	flag.Parse()
@@ -43,6 +54,8 @@ func main() {
 		watchLoop(os.Stdout, *watch, *every, *iters, renderWatch)
 	case *tlWatch != "":
 		watchLoop(os.Stdout, *tlWatch, *every, *iters, renderTimeline)
+	case *hmWatch != "":
+		watchLoop(os.Stdout, *hmWatch, *every, *iters, renderHeatmap)
 	case *validate != "":
 		f, err := os.Open(*validate)
 		if err != nil {
@@ -290,6 +303,12 @@ func renderTimeline(w io.Writer, ws obs.WatchSnapshot, lastSeq uint64) {
 	fmt.Fprintf(w, "tmcctop -timeline: frame %d%s%s\n\n", ws.Seq, stamp, stale)
 	tl := ws.Timeline
 	if len(tl.Groups) == 0 {
+		if len(ws.Heatmap.Groups) > 0 {
+			fmt.Fprintln(w, "no timeline in this watch file; rendering its heatmap instead")
+			fmt.Fprintln(w)
+			renderHeatmapGroups(w, ws.Heatmap)
+			return
+		}
 		fmt.Fprintln(w, "no timeline in this watch file; run tmccsim with both -watchfile and -timeline")
 		return
 	}
@@ -365,6 +384,119 @@ func renderTimelineGroup(w io.Writer, g timeline.GroupSeries, widthPS int64) {
 	}
 	tw.Flush()
 	fmt.Fprintln(w)
+}
+
+// maxHeatRows caps the per-group heatmap table at the hottest regions so
+// one frame fits a terminal.
+const maxHeatRows = 16
+
+// heatBarSlots is the width, in cells, of the hottest region's heat bar;
+// cooler regions scale down proportionally.
+const heatBarSlots = 32
+
+// tierColor maps a region's dominant residency tier to the ANSI color of
+// its heat bar: ML1 green, ML2 cyan, overflow red.
+var tierColor = [heatmap.NumTiers]string{"\033[32m", "\033[36m", "\033[31m"}
+
+// ansiReset ends a colored heat bar.
+const ansiReset = "\033[0m"
+
+// renderHeatmap prints one live frame of the address-space heatmap: per
+// (benchmark, kind) group, the hottest regions as heat bars colored by
+// the tier the region's pages mostly sampled in.
+func renderHeatmap(w io.Writer, ws obs.WatchSnapshot, lastSeq uint64) {
+	stamp := ""
+	if ws.UnixNanos != 0 {
+		stamp = " emitted " + time.Unix(0, ws.UnixNanos).Format("15:04:05")
+	}
+	stale := ""
+	if ws.Seq == lastSeq {
+		stale = " (stale: no new frame since last refresh)"
+	}
+	fmt.Fprintf(w, "tmcctop -heatmap: frame %d%s%s\n\n", ws.Seq, stamp, stale)
+	hm := ws.Heatmap
+	if len(hm.Groups) == 0 {
+		if len(ws.Timeline.Groups) > 0 {
+			fmt.Fprintln(w, "no heatmap in this watch file; rendering its timeline instead")
+			fmt.Fprintln(w)
+			for _, g := range ws.Timeline.Groups {
+				renderTimelineGroup(w, g, ws.Timeline.WidthPS)
+			}
+			return
+		}
+		fmt.Fprintln(w, "no heatmap in this watch file; run tmccsim with both -watchfile and -heatmap")
+		return
+	}
+	renderHeatmapGroups(w, hm)
+}
+
+// renderHeatmapGroups renders every group of a heatmap snapshot.
+func renderHeatmapGroups(w io.Writer, hm heatmap.Snapshot) {
+	for _, g := range hm.Groups {
+		renderHeatmapGroup(w, g, hm.RegionPages)
+	}
+}
+
+// renderHeatmapGroup prints one group's hottest regions, one heat bar per
+// region, hottest first (region index breaks ties so frames are stable).
+func renderHeatmapGroup(w io.Writer, g heatmap.GroupHeatmap, regionPages uint64) {
+	regions := make([]heatmap.RegionStats, len(g.Regions))
+	copy(regions, g.Regions)
+	sort.SliceStable(regions, func(i, j int) bool {
+		hi, hj := regions[i].HeatTotal(), regions[j].HeatTotal()
+		if hi != hj {
+			return hi > hj
+		}
+		return regions[i].Region < regions[j].Region
+	})
+	shown := len(regions)
+	if shown > maxHeatRows {
+		shown = maxHeatRows
+	}
+	var max uint64
+	for _, r := range regions[:shown] {
+		if h := r.HeatTotal(); h > max {
+			max = h
+		}
+	}
+	mib := regionPages * 4 * config.KiB / config.MiB
+	fmt.Fprintf(w, "%s/%s — top %d of %d regions (%d MiB each; green=ml1 cyan=ml2 red=overflow)\n",
+		g.Benchmark, g.Kind, shown, len(regions), mib)
+	for _, r := range regions[:shown] {
+		churn := r.Events[heatmap.EvML1ToML2] + r.Events[heatmap.EvML2ToML1] + r.Events[heatmap.EvEmergency]
+		tier, color := "-", ""
+		if t, ok := dominantTier(&r.Delta); ok {
+			tier, color = t.String(), tierColor[t]
+		}
+		fmt.Fprintf(w, "  %6d  %s  heat=%-9d churn=%-6d tier=%s\n",
+			r.Region, heatBar(r.HeatTotal(), max, color), r.HeatTotal(), churn, tier)
+	}
+	fmt.Fprintln(w)
+}
+
+// dominantTier is the tier a region's pages were most often sampled in;
+// ok is false when the region never appeared in a residency sweep.
+func dominantTier(d *heatmap.Delta) (heatmap.Tier, bool) {
+	best, bestN := heatmap.TierML1, uint64(0)
+	for t := heatmap.Tier(0); t < heatmap.NumTiers; t++ {
+		if d.Res[t] > bestN {
+			best, bestN = t, d.Res[t]
+		}
+	}
+	return best, bestN > 0
+}
+
+// heatBar renders v scaled against the group maximum as a fixed-width
+// colored bar; nonzero heat always shows at least one cell.
+func heatBar(v, max uint64, color string) string {
+	n := 0
+	if max > 0 {
+		n = int(v * heatBarSlots / max)
+		if n == 0 && v > 0 {
+			n = 1
+		}
+	}
+	return color + strings.Repeat("█", n) + ansiReset + strings.Repeat(" ", heatBarSlots-n)
 }
 
 // validateTrace parses a Chrome trace_event JSON stream and checks the

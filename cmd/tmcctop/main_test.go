@@ -10,6 +10,8 @@ import (
 	"tmcc/internal/config"
 	"tmcc/internal/obs"
 	"tmcc/internal/obs/attr"
+	"tmcc/internal/obs/heatmap"
+	"tmcc/internal/obs/timeline"
 )
 
 func snap(build func(r *obs.Registry)) obs.Snapshot {
@@ -279,5 +281,98 @@ func TestWatchLoopSurvivesTruncation(t *testing.T) {
 	cold.tick(&buf)
 	if !strings.Contains(buf.String(), "waiting for") {
 		t.Fatalf("fresh watcher on a missing file should wait, got:\n%s", buf.String())
+	}
+}
+
+// heatmapSnap builds a small two-region heatmap snapshot the way runs do:
+// per-region deltas plus an independently folded group total.
+func heatmapSnap() heatmap.Snapshot {
+	rec := heatmap.NewRecorder(0, 0)
+	var cold heatmap.Delta
+	cold.Heat[attr.ClassDemand] = 40
+	cold.Res[heatmap.TierML1] = 3
+	rec.Add("canneal", "tmcc", 0, &cold)
+	var hot heatmap.Delta
+	hot.Heat[attr.ClassDemand] = 60
+	hot.Heat[attr.ClassWriteback] = 4
+	hot.Events[heatmap.EvML1ToML2] = 2
+	hot.Res[heatmap.TierML2] = 5
+	rec.Add("canneal", "tmcc", 7, &hot)
+	var tot heatmap.Delta
+	tot.Fold(&cold)
+	tot.Fold(&hot)
+	tot.Sweeps = 1
+	rec.AddTotal("canneal", "tmcc", &tot)
+	return rec.Snapshot()
+}
+
+func timelineSnap() timeline.Snapshot {
+	return timeline.Snapshot{
+		WidthPS: 1_000_000,
+		Groups: []timeline.GroupSeries{{
+			Benchmark: "canneal",
+			Kind:      "tmcc",
+			Windows: []timeline.Window{{
+				StartPS:  0,
+				Counters: []timeline.CounterDelta{{Path: "mc.tmcc.ml2.reads", Delta: 9}},
+			}},
+		}},
+	}
+}
+
+func TestRenderHeatmap(t *testing.T) {
+	ws := obs.WatchSnapshot{Seq: 3, Heatmap: heatmapSnap()}
+	var buf bytes.Buffer
+	renderHeatmap(&buf, ws, 0)
+	out := buf.String()
+	for _, want := range []string{
+		"tmcctop -heatmap: frame 3",
+		"canneal/tmcc — top 2 of 2 regions (2 MiB each",
+		"tier=ml1", "tier=ml2", "churn=2", "heat=64",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("heatmap frame missing %q:\n%s", want, out)
+		}
+	}
+	// Hottest region first: region 7 (heat 64) before region 0 (heat 40).
+	if strings.Index(out, "tier=ml2") > strings.Index(out, "tier=ml1") {
+		t.Errorf("regions not sorted hottest-first:\n%s", out)
+	}
+}
+
+// TestRenderHeatmapFallsBackToTimeline pins the missing-section contract:
+// -heatmap against a timeline-only watch file renders the timeline
+// instead of erroring.
+func TestRenderHeatmapFallsBackToTimeline(t *testing.T) {
+	ws := obs.WatchSnapshot{Seq: 1, Timeline: timelineSnap()}
+	var buf bytes.Buffer
+	renderHeatmap(&buf, ws, 0)
+	out := buf.String()
+	for _, want := range []string{"rendering its timeline instead", "windows of", "mc.tmcc.ml2.reads"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("heatmap fallback missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRenderTimelineFallsBackToHeatmap is the symmetric contract for
+// -timeline against a heatmap-only watch file.
+func TestRenderTimelineFallsBackToHeatmap(t *testing.T) {
+	ws := obs.WatchSnapshot{Seq: 1, Heatmap: heatmapSnap()}
+	var buf bytes.Buffer
+	renderTimeline(&buf, ws, 0)
+	out := buf.String()
+	for _, want := range []string{"rendering its heatmap instead", "regions", "canneal/tmcc"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline fallback missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderHeatmapEmptyFrame(t *testing.T) {
+	var buf bytes.Buffer
+	renderHeatmap(&buf, obs.WatchSnapshot{Seq: 1}, 0)
+	if !strings.Contains(buf.String(), "run tmccsim with both -watchfile and -heatmap") {
+		t.Errorf("empty frame missing hint:\n%s", buf.String())
 	}
 }

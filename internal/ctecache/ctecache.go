@@ -22,6 +22,9 @@ type Cache struct {
 	// Observability counters (nil when not observed): lifetime Lookup
 	// outcomes, bumped live so a registry snapshot mid-run is meaningful.
 	obsHit, obsMiss *obs.Counter
+	// heat, when non-nil, receives the same Lookup outcomes keyed by page
+	// — the heatmap's CTE-locality series (nil-safe methods).
+	heat *obs.HeatmapView
 }
 
 // New builds a CTE cache from its configuration.
@@ -43,6 +46,12 @@ func (c *Cache) Observe(hit, miss *obs.Counter) {
 	c.obsHit, c.obsMiss = hit, miss
 }
 
+// ObserveHeat attaches the run's heatmap view so Lookup outcomes also
+// land on the page's address-space region.
+func (c *Cache) ObserveHeat(hm *obs.HeatmapView) {
+	c.heat = hm
+}
+
 // blockFor maps a physical page number to its CTE block id.
 func (c *Cache) blockFor(ppn uint64) uint64 { return ppn / c.pagesPerBlk }
 
@@ -50,9 +59,11 @@ func (c *Cache) blockFor(ppn uint64) uint64 { return ppn / c.pagesPerBlk }
 func (c *Cache) Lookup(ppn uint64) bool {
 	if c.c.Access(c.blockFor(ppn)) {
 		c.obsHit.Inc()
+		c.heat.CTE(ppn, true)
 		return true
 	}
 	c.obsMiss.Inc()
+	c.heat.CTE(ppn, false)
 	return false
 }
 

@@ -25,8 +25,9 @@
 //   - obs-sink-purity: simulator code under internal/ (except internal/obs
 //     itself) must not construct output sinks — no os.Create / os.OpenFile /
 //     os.NewFile calls, no os.Stdout / os.Stderr references, and no
-//     timeline.NewRecorder calls (windowed recorders are built at the cmd
-//     layer and injected via obs.Observer.TL). Metrics snapshots and trace
+//     timeline.NewRecorder or heatmap.NewRecorder calls (windowed and
+//     spatial recorders are built at the cmd layer and injected via
+//     obs.Observer.TL / obs.Observer.Heat). Metrics snapshots and trace
 //     files are written through io.Writers injected from the cmd layer, so
 //     observability can never smuggle wall-clock or filesystem effects
 //     into a simulation.
@@ -114,7 +115,7 @@ func File(fset *token.FileSet, relPath string, f *ast.File) []Diag {
 		inConfig: strings.Contains(relPath+"/", "internal/config/"),
 		allowed:  collectAllows(fset, f),
 	}
-	c.randPkg, c.timePkg, c.osPkg, c.tlPkg = importNames(f)
+	c.randPkg, c.timePkg, c.osPkg, c.tlPkg, c.hmPkg = importNames(f)
 	if c.internal {
 		c.checkRand()
 		c.checkWallclock()
@@ -150,6 +151,7 @@ type checker struct {
 	timePkg  string
 	osPkg    string
 	tlPkg    string
+	hmPkg    string
 	// allowed maps line -> rules suppressed on that line ("" = all).
 	allowed map[int]map[string]bool
 	diags   []Diag
@@ -164,9 +166,9 @@ func (c *checker) report(pos token.Pos, rule, msg string) {
 }
 
 // importNames returns the local names under which math/rand, time, os,
-// and the timeline package are imported ("" when not imported, "_"/"."
-// treated as not callable).
-func importNames(f *ast.File) (randName, timeName, osName, tlName string) {
+// and the timeline and heatmap packages are imported ("" when not
+// imported, "_"/"." treated as not callable).
+func importNames(f *ast.File) (randName, timeName, osName, tlName, hmName string) {
 	for _, imp := range f.Imports {
 		p, err := strconv.Unquote(imp.Path.Value)
 		if err != nil {
@@ -188,9 +190,11 @@ func importNames(f *ast.File) (randName, timeName, osName, tlName string) {
 			osName = name
 		case "tmcc/internal/obs/timeline":
 			tlName = name
+		case "tmcc/internal/obs/heatmap":
+			hmName = name
 		}
 	}
-	return randName, timeName, osName, tlName
+	return randName, timeName, osName, tlName, hmName
 }
 
 // pkgCall matches a call of the form pkgName.Fun(...) and returns Fun.
@@ -461,7 +465,7 @@ var sinkConstructors = map[string]bool{"Create": true, "OpenFile": true, "NewFil
 var sinkStreams = map[string]bool{"Stdout": true, "Stderr": true}
 
 func (c *checker) checkObsSink() {
-	if c.osPkg == "" && c.tlPkg == "" {
+	if c.osPkg == "" && c.tlPkg == "" && c.hmPkg == "" {
 		return
 	}
 	ast.Inspect(c.file, func(n ast.Node) bool {
@@ -478,6 +482,15 @@ func (c *checker) checkObsSink() {
 			// conservation-audited one.
 			c.report(call.Pos(), RuleObsSink,
 				fmt.Sprintf("%s.NewRecorder constructs a timeline recorder under internal/; recorders are built at the cmd layer and injected via obs.Observer.TL", c.tlPkg))
+			return true
+		}
+		if call, fun := pkgCall(n, c.hmPkg); call != nil && fun == "NewRecorder" {
+			// Same layering as the timeline: the spatial heatmap is armed by
+			// the cmd layer and handed in via obs.Observer.Heat; a private
+			// recorder under internal/ would fork the heat series away from
+			// the conservation-audited one.
+			c.report(call.Pos(), RuleObsSink,
+				fmt.Sprintf("%s.NewRecorder constructs a heatmap recorder under internal/; recorders are built at the cmd layer and injected via obs.Observer.Heat", c.hmPkg))
 			return true
 		}
 		sel, ok := n.(*ast.SelectorExpr)

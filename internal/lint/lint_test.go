@@ -455,3 +455,55 @@ func f() int64 { return timeline.WindowStart(5, 10) }
 		t.Fatalf("timeline.WindowStart flagged: %v", rules)
 	}
 }
+
+func TestObsSinkHeatmapRecorderFires(t *testing.T) {
+	src := `package p
+import "tmcc/internal/obs/heatmap"
+func f() *heatmap.Recorder { return heatmap.NewRecorder(0, 0) }
+`
+	rules := run(t, "internal/p/p.go", src)
+	if !has(rules, RuleObsSink) {
+		t.Fatalf("want %s for heatmap.NewRecorder under internal/, got %v", RuleObsSink, rules)
+	}
+}
+
+func TestObsSinkHeatmapRenamedImportFires(t *testing.T) {
+	src := `package p
+import hm "tmcc/internal/obs/heatmap"
+func f() *hm.Recorder { return hm.NewRecorder(0, 0) }
+`
+	rules := run(t, "internal/p/p.go", src)
+	if !has(rules, RuleObsSink) {
+		t.Fatalf("renamed heatmap import escaped the rule: %v", rules)
+	}
+}
+
+func TestObsSinkHeatmapAllowedInObsPackage(t *testing.T) {
+	src := `package obs
+import "tmcc/internal/obs/heatmap"
+func f() *heatmap.Recorder { return heatmap.NewRecorder(0, 0) }
+`
+	if rules := run(t, "internal/obs/heatmapview.go", src); has(rules, RuleObsSink) {
+		t.Fatalf("rule fired inside internal/obs: %v", rules)
+	}
+}
+
+func TestObsSinkHeatmapAllowedAtCmdLayer(t *testing.T) {
+	src := `package main
+import "tmcc/internal/obs/heatmap"
+func f() *heatmap.Recorder { return heatmap.NewRecorder(0, 0) }
+`
+	if rules := run(t, "cmd/tmccsim/main.go", src); has(rules, RuleObsSink) {
+		t.Fatalf("rule fired outside internal: %v", rules)
+	}
+}
+
+func TestObsSinkHeatmapHarmlessUseOK(t *testing.T) {
+	src := `package p
+import "tmcc/internal/obs/heatmap"
+func f() []int64 { return heatmap.SizeBounds() }
+`
+	if rules := run(t, "internal/p/p.go", src); has(rules, RuleObsSink) {
+		t.Fatalf("heatmap.SizeBounds flagged: %v", rules)
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"tmcc/internal/freelist"
 	"tmcc/internal/obs"
 	"tmcc/internal/obs/attr"
+	"tmcc/internal/obs/heatmap"
 	"tmcc/internal/recency"
 	"tmcc/internal/workload"
 )
@@ -84,6 +85,11 @@ type Config struct {
 	// counters survive ResetStats and aggregate across MC instances
 	// sharing a registry. Pure write-only sink: must not affect timing.
 	Obs *obs.Observer
+	// Heat, when non-nil, is the run's address-space heatmap view: the
+	// controller stamps migrations, pressure evictions, quarantines, ML2
+	// serves, and compressed sizes against the page they hit. Write-only
+	// and nil-safe, like Obs.
+	Heat *obs.HeatmapView
 	// Inject, when non-nil, arms fault injection on the MC's ML2 payload
 	// and DRAM request paths (the embedded-CTE faults live in the
 	// simulator, which owns the PTB path). nil keeps every site on its
@@ -158,6 +164,10 @@ type MC struct {
 	chunkPool    uint64 // frames available for data
 	cteTableBase uint64
 
+	// heat is the run's spatial heatmap view (nil when the heatmap is
+	// off); every stamp site pays one nil check inside the method.
+	heat *obs.HeatmapView
+
 	// inj is the armed fault injector (nil in healthy runs); pressure and
 	// capErr belong to the graceful-degradation ladder (pressure.go).
 	inj      *fault.Injector
@@ -212,6 +222,7 @@ type mcObs struct {
 	ml1ToML2          *obs.Counter
 	incompressSkips   *obs.Counter
 	ml2DecompressPS   *obs.Histogram // demand ML2 latency, now -> respond, ps
+	ml2CompBytes      *obs.Histogram // compressed page size at ML2 entry, bytes
 	ml1Pages, ml1Free *obs.Gauge
 
 	// pressure.* — degradation-ladder activity (two-level kinds only).
@@ -253,6 +264,7 @@ func (m *MC) observe(o *obs.Observer) {
 		ml1ToML2:        o.Counter(p + "ml1.toML2"),
 		incompressSkips: o.Counter(p + "ml2.incompressSkips"),
 		ml2DecompressPS: o.Histogram(p+"ml2.decompressPS", ml2LatencyBoundsPS),
+		ml2CompBytes:    o.Histogram(p+"ml2.compressedBytes", heatmap.SizeBounds()),
 		ml1Pages:        o.Gauge(p + "ml1.pages"),
 		ml1Free:         o.Gauge(p + "ml1.freeChunks"),
 	}
@@ -272,6 +284,9 @@ func (m *MC) observe(o *obs.Observer) {
 	}
 	if m.cte != nil {
 		m.cte.Observe(o.Counter(p+"ctecache.hit"), o.Counter(p+"ctecache.miss"))
+	}
+	if m.cte != nil && m.heat != nil {
+		m.cte.ObserveHeat(m.heat)
 	}
 	if o.At != nil {
 		m.ab = new(attr.Access)
@@ -310,6 +325,7 @@ func New(cfg Config) (*MC, error) {
 		cfg:  cfg,
 		dram: dram.New(cfg.Sys.DRAM),
 		rng:  rand.New(rand.NewSource(cfg.Seed + 1000)),
+		heat: cfg.Heat,
 		inj:  cfg.Inject,
 	}
 	switch cfg.Kind {
@@ -456,6 +472,8 @@ func (m *MC) Place(ppn uint64, toML2 bool) bool {
 			st.inML2 = true
 			st.sub = sub
 			st.sum = pageChecksum(ppn, size)
+			m.ob.ml2CompBytes.Observe(int64(size))
+			m.heat.CompressedSize(ppn, int64(size))
 			if check.Enabled {
 				check.Invariant("mc: chunk-conservation after ML2 place", m.audit)
 			}
@@ -740,6 +758,7 @@ func (m *MC) accessTwoLevel(now config.Time, st *pageState, ppn uint64, blockOff
 func (m *MC) serveML2(now config.Time, st *pageState, ppn uint64, blockOff int, cteHit bool) config.Time {
 	m.Stats.ML2Reads++
 	m.ob.ml2Reads.Inc()
+	m.heat.Event(ppn, heatmap.EvML2Read)
 	t := now
 	if !cteHit {
 		t = m.dramOp(t, m.cteAddr(ppn), false)
@@ -802,6 +821,7 @@ func (m *MC) serveML2(now config.Time, st *pageState, ppn uint64, blockOff int, 
 		// page out of ML2 — it must live uncompressed from here on.
 		m.inj.NoteQuarantine()
 		m.ob.faultQuarantine.Inc()
+		m.heat.Event(ppn, heatmap.EvQuarantine)
 		respond += m.cfg.ML2HalfPage
 		if m.ab != nil {
 			m.ab.Add(attr.CVerifyRedo, m.cfg.ML2HalfPage)
@@ -820,7 +840,7 @@ func (m *MC) serveML2(now config.Time, st *pageState, ppn uint64, blockOff int, 
 	// Background migration to ML1 (mandatory for a quarantined page).
 	chunk, ok := m.ml1.Pop()
 	if !ok {
-		_, _ = m.evictOne(respond)
+		_, _, _ = m.evictOne(respond)
 		chunk, ok = m.ml1.Pop()
 	}
 	if !ok {
@@ -849,6 +869,7 @@ func (m *MC) serveML2(now config.Time, st *pageState, ppn uint64, blockOff int, 
 	m.rec.Touch(ppn)
 	m.Stats.ML2ToML1++
 	m.ob.ml2ToML1.Inc()
+	m.heat.Event(ppn, heatmap.EvML2ToML1)
 	// The page write-out occupies the staging slot and posts 64 writes,
 	// again holding at most MaxQueueSlots at a time.
 	m.svWWin = timeWindow(m.svWWin, slots)
@@ -877,7 +898,7 @@ func (m *MC) Settle() {
 		return
 	}
 	for m.ml1.Len() < m.lowMark+64 {
-		if _, ok := m.evictOne(0); !ok {
+		if _, _, ok := m.evictOne(0); !ok {
 			break
 		}
 	}
@@ -901,21 +922,23 @@ func (m *MC) maybeEvict(now config.Time) {
 		n = 4 // eviction outranks demand below the critical mark
 	}
 	for i := 0; i < n; i++ {
-		if _, ok := m.evictOne(now); !ok {
+		if _, _, ok := m.evictOne(now); !ok {
 			return
 		}
 	}
 }
 
 // evictOne migrates the coldest ML1 page to ML2; ok=false when no
-// eviction was possible. The returned time is the migration's write-out
-// completion — background work normally, but the pressure ladder blocks
-// on it when force-migrating on a requester's critical path.
-func (m *MC) evictOne(now config.Time) (config.Time, bool) {
+// eviction was possible, and the first return names the evicted page
+// (the pressure ladder stamps it on the heatmap as an emergency
+// victim). The returned time is the migration's write-out completion —
+// background work normally, but the pressure ladder blocks on it when
+// force-migrating on a requester's critical path.
+func (m *MC) evictOne(now config.Time) (uint64, config.Time, bool) {
 	for {
 		ppn, ok := m.rec.EvictColdest()
 		if !ok {
-			return now, false
+			return 0, now, false
 		}
 		st := &m.pages[ppn]
 		if st.inML2 || !st.placed {
@@ -939,7 +962,7 @@ func (m *MC) evictOne(now config.Time) (config.Time, bool) {
 		}
 		sub, ok := m.ml2.Alloc(size)
 		if !ok {
-			return now, false
+			return 0, now, false
 		}
 		// Read the page (64 blocks) and write the compressed sub-chunk,
 		// each holding at most MaxQueueSlots queue entries.
@@ -972,12 +995,15 @@ func (m *MC) evictOne(now config.Time) (config.Time, bool) {
 		m.ml1Size--
 		m.Stats.ML1ToML2++
 		m.ob.ml1ToML2.Inc()
+		m.heat.Event(ppn, heatmap.EvML1ToML2)
+		m.heat.CompressedSize(ppn, int64(size))
+		m.ob.ml2CompBytes.Observe(int64(size))
 		m.ob.tr.Emit(obs.CatMigration, "ml1->ml2", obs.TIDMC, now, wlast)
 		m.updateGauges()
 		if check.Enabled {
 			check.Invariant("mc: chunk-conservation after eviction", m.audit)
 		}
-		return wlast, true
+		return ppn, wlast, true
 	}
 }
 
@@ -1034,6 +1060,28 @@ func (m *MC) ResetStats() {
 
 // CTECache exposes hit-rate counters for the experiments.
 func (m *MC) CTECache() *ctecache.Cache { return m.cte }
+
+// SampleResidency reports every placed page's current tier through f —
+// the heatmap's residency sweep, run by the simulator's batch loop when
+// a sampling window edge passes. Overflow frames are the pressure
+// ladder's beyond-budget chunks; everything else uncompressed is ML1.
+// Read-only: it must never perturb placement or recency state.
+func (m *MC) SampleResidency(f func(ppn uint64, tier heatmap.Tier)) {
+	for ppn := range m.pages {
+		st := &m.pages[ppn]
+		if !st.placed {
+			continue
+		}
+		switch {
+		case st.inML2:
+			f(uint64(ppn), heatmap.TierML2)
+		case uint64(st.chunk) >= m.cfg.BudgetPages:
+			f(uint64(ppn), heatmap.TierOverflow)
+		default:
+			f(uint64(ppn), heatmap.TierML1)
+		}
+	}
+}
 
 // InML2 reports whether ppn currently lives compressed.
 func (m *MC) InML2(ppn uint64) bool { return m.pages[ppn].inML2 }

@@ -24,6 +24,7 @@ import (
 
 	"tmcc/internal/config"
 	"tmcc/internal/obs"
+	"tmcc/internal/obs/heatmap"
 )
 
 // ErrCapacityExhausted is the sentinel wrapped by every CapacityError:
@@ -88,12 +89,13 @@ func (m *MC) popFrame(now config.Time) (uint32, config.Time, bool) {
 	// returns), so loop until the list yields or the Recency List is dry.
 	entry := now
 	for {
-		done, ok := m.evictOne(now)
+		ppn, done, ok := m.evictOne(now)
 		if !ok {
 			break
 		}
 		m.pressure.emergencies++
 		m.ob.pressureEmergency.Inc()
+		m.heat.Event(ppn, heatmap.EvEmergency)
 		if done > now {
 			now = done
 		}

@@ -30,6 +30,7 @@ package obs
 import (
 	"tmcc/internal/config"
 	"tmcc/internal/obs/attr"
+	"tmcc/internal/obs/heatmap"
 	"tmcc/internal/obs/timeline"
 )
 
@@ -62,6 +63,10 @@ type Observer struct {
 	// into Reg/At at run end. Like At, TL rides outside the experiment
 	// engine's memo key.
 	TL *timeline.Recorder
+	// Heat, when non-nil, arms the address-space heatmap: each observed
+	// run gets a private HeatmapView whose per-region accumulations fold
+	// into Heat at run end. Like TL, Heat rides outside the memo key.
+	Heat *heatmap.Recorder
 }
 
 // New returns an Observer with a fresh registry, a default-capacity

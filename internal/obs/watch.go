@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"tmcc/internal/obs/attr"
+	"tmcc/internal/obs/heatmap"
 	"tmcc/internal/obs/timeline"
 )
 
@@ -21,6 +22,7 @@ type WatchSnapshot struct {
 	Metrics   Snapshot          `json:"metrics"`
 	Attr      attr.Snapshot     `json:"attr"`
 	Timeline  timeline.Snapshot `json:"timeline,omitempty"`
+	Heatmap   heatmap.Snapshot  `json:"heatmap,omitempty"`
 }
 
 // Watch assembles a watch frame from the observer's current state,
@@ -35,6 +37,9 @@ func (o *Observer) Watch(seq uint64, unixNanos int64) WatchSnapshot {
 	ws.Attr = o.At.Snapshot()
 	if o.TL != nil {
 		ws.Timeline = o.TL.Snapshot()
+	}
+	if o.Heat != nil {
+		ws.Heatmap = o.Heat.Snapshot()
 	}
 	return ws
 }

@@ -63,6 +63,12 @@ func NewRunnerInjected(opt Options, ob *obs.Observer, inj *fault.Injector) (*Run
 	if sys.CPU.Cores == 0 {
 		sys = config.Default()
 	}
+	// The heatmap view derives from the original observer before any
+	// timeline shadowing: heat facts carry addresses the registry cannot
+	// express, so the view is injected directly into the components that
+	// know the page (mc, ctecache, the batch loop) rather than riding the
+	// registry indirection.
+	hmv := ob.HeatmapView(opt.Benchmark, opt.Kind.String())
 	// When a timeline recorder rides the observer, shadow ob with the
 	// view's derived observer (private registry + attr recorder, shared
 	// tracer): every bump site below then feeds the windowed timeline
@@ -135,6 +141,7 @@ func NewRunnerInjected(opt Options, ob *obs.Observer, inj *fault.Injector) (*Run
 		CTEOverride:  opt.CTEOverride,
 		VictimShadow: opt.VictimShadow,
 		Obs:          ob,
+		Heat:         hmv,
 		Inject:       inj,
 	})
 	if err != nil {
@@ -150,10 +157,16 @@ func NewRunnerInjected(opt Options, ob *obs.Observer, inj *fault.Injector) (*Run
 		mcc:   mcc,
 		inj:   inj,
 		tlv:   tlv,
+		hmv:   hmv,
 		l3:    cache.New(sys.Cache.L3SizeMB*config.MiB, sys.Cache.Assoc*2),
 		rng:   rand.New(rand.NewSource(opt.Seed + 77)),
 		cycle: sys.CPU.Cycle(),
 		noc:   sys.DRAM.NoCLatency,
+	}
+	if hmv != nil {
+		// Bind the residency callback once: a method value allocates, and
+		// the batch loop hands it to the MC at every sampling edge.
+		r.hmSample = hmv.Residency
 	}
 	r.pcfg = ptbcomp.NewConfig(osPages*config.PageSize, uint64(sys.Comp.DRAMPerMCTB)<<40)
 

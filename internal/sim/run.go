@@ -44,8 +44,16 @@ func (r *Runner) Run() (Metrics, error) {
 	r.m.BusUtilization = d.BusUtilization(r.m.Elapsed)
 	r.m.RowHitRate = d.RowHitRate()
 	// Fold the final partial window and merge the run's private sinks into
-	// the lifetime registry/attr recorder (no-op when the timeline is off).
+	// the lifetime registry/attr recorder (no-op when the timeline is off),
+	// then fold the run's per-region heat into the shared heatmap. The
+	// final residency sweep mirrors the timeline's final partial window:
+	// short runs that never cross a sampling edge still sample residency
+	// once, at end state.
 	r.tlv.Close()
+	if r.hmv.Sweep() {
+		r.mcc.SampleResidency(r.hmSample)
+	}
+	r.hmv.Close()
 	if err := r.mcc.Err(); err != nil {
 		return r.m, fmt.Errorf("sim: %s/%s aborted: %w", r.opt.Benchmark, r.opt.Kind, err)
 	}
@@ -97,6 +105,12 @@ func (r *Runner) runAccesses(n int) {
 			// Timeline window-edge check, batch-paced like the error check:
 			// one branch when the timeline is off.
 			r.tlv.Advance(c.time)
+			// Heatmap residency edge: when a sampling window was crossed,
+			// sweep current page residency into the view. One branch when
+			// the heatmap is off.
+			if r.hmv.Advance(c.time) {
+				r.mcc.SampleResidency(r.hmSample)
+			}
 		}
 		return
 	}
@@ -120,6 +134,9 @@ func (r *Runner) runAccesses(n int) {
 		// The heap root carries the earliest core clock, which is monotone
 		// non-decreasing across batches — a safe timeline edge probe.
 		r.tlv.Advance(r.heap[0].time)
+		if r.hmv.Advance(r.heap[0].time) {
+			r.mcc.SampleResidency(r.hmSample)
+		}
 	}
 }
 
@@ -294,9 +311,26 @@ func (r *Runner) walk(c *core, t config.Time, vpn uint64) config.Time {
 	return t
 }
 
+// heat stamps one recorded access on the heatmap, gated on the same
+// recording flag as attribution so the per-class heat totals conserve
+// exactly against the lifetime attr class counts.
+func (r *Runner) heat(block uint64, cl attr.Class) {
+	if r.hmv == nil || !r.recording {
+		return
+	}
+	r.hmv.Access(block/config.BlocksPage, cl)
+}
+
 // memAccess sends one 64B access through L1/L2/L3/MC and returns when the
 // data is available to the requester.
 func (r *Runner) memAccess(c *core, t config.Time, block uint64, write, isPTB, walkRelated bool) config.Time {
+	// Spatial heat: exactly one stamp per access, hit or miss, mirroring
+	// the one attr record every path below performs.
+	if isPTB {
+		r.heat(block, attr.ClassPTB)
+	} else {
+		r.heat(block, attr.ClassDemand)
+	}
 	l1Lat := r.sys.Cache.L1Cycles.Dur(r.cycle)
 	l2Lat := l1Lat + r.sys.Cache.L2Cycles.Dur(r.cycle)
 	l3Lat := l2Lat + r.sys.Cache.L3Cycles.Dur(r.cycle)
@@ -484,6 +518,7 @@ func (r *Runner) writeback(block uint64, now config.Time) {
 		r.m.Writebacks++
 		r.sob.writeback.Inc()
 	}
+	r.heat(block, attr.ClassWriteback)
 	res := r.mcc.Access(now, block/config.BlocksPage, int(block%config.BlocksPage), true, nil, false)
 	if r.attrOn() {
 		a := *r.mcc.Attr()
@@ -511,6 +546,7 @@ func (r *Runner) prefetch(c *core, now config.Time, block uint64) {
 			continue
 		}
 		c.throttle.Issued()
+		r.heat(nb, attr.ClassPrefetch)
 		res := r.mcc.Access(now, nb/64, int(nb%64), false, nil, false)
 		if r.attrOn() {
 			a := *r.mcc.Attr()

@@ -23,6 +23,7 @@ import (
 	"tmcc/internal/mc"
 	"tmcc/internal/obs"
 	"tmcc/internal/obs/attr"
+	"tmcc/internal/obs/heatmap"
 	"tmcc/internal/pagetable"
 	"tmcc/internal/ptbcomp"
 	"tmcc/internal/tlb"
@@ -233,6 +234,15 @@ type Runner struct {
 	// per-window deltas into the shared recorder and merging the private
 	// lifetime totals back. Nil costs one branch per batch.
 	tlv *obs.TimelineView
+
+	// hmv is the run's address-space heatmap view (nil when the heatmap
+	// is off): memAccess/writeback/prefetch stamp per-page access heat
+	// while recording, the batch loop probes it for residency sampling
+	// edges, and Run closes it. hmSample is the pre-bound Residency
+	// method value handed to the MC's page sweep, built once so the
+	// batch loop never allocates a closure.
+	hmv      *obs.HeatmapView
+	hmSample func(ppn uint64, tier heatmap.Tier)
 
 	// inj is the run's fault injector (nil in healthy runs). The simulator
 	// owns the embedded-CTE fault site — the PTB/CTE-Buffer machinery lives
