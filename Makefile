@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint test race debug fuzz-smoke fmt bench core-bench-smoke engine-smoke obs-smoke breakdown-smoke chaos-smoke timeline-smoke heatmap-smoke bench-record bench-check
+.PHONY: all build lint test race debug fuzz-smoke fmt bench core-bench-smoke engine-smoke obs-smoke breakdown-smoke chaos-smoke timeline-smoke heatmap-smoke ras-smoke bench-record bench-check
 
 all: lint test
 
@@ -38,6 +38,7 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz FuzzMemDeflateRoundTrip -fuzztime 10s ./internal/memdeflate/
 	$(GO) test -run=^$$ -fuzz FuzzEntryRoundTrip -fuzztime 10s ./internal/cte/
 	$(GO) test -run=^$$ -fuzz FuzzParseAllow -fuzztime 10s ./internal/lint/
+	$(GO) test -run=^$$ -fuzz FuzzParsePlan -fuzztime 10s ./internal/fault/
 
 fmt:
 	gofmt -w .
@@ -106,7 +107,7 @@ breakdown-smoke:
 		-breakdown-csv /tmp/tmcc_breakdown.csv -flame /tmp/tmcc.flame \
 		> /tmp/tmccsim_bd.csv
 	diff -u /tmp/tmccsim_nobd.csv /tmp/tmccsim_bd.csv
-	awk -F, 'NR>1 { s=0; for (i=6; i<=18; i++) s+=$$i; s-=2*$$11; \
+	awk -F, 'NR>1 { s=0; for (i=6; i<=19; i++) s+=$$i; s-=2*$$11; \
 		if (s != $$5) { print "unconserved row: " $$0; exit 1 } }' /tmp/tmcc_breakdown.csv
 	awk -F, '$$2=="compresso" && $$3=="demand" { found=1; \
 		if ($$9+0 <= 0) { print "compresso demand row has no serialized CTE time"; exit 1 } } \
@@ -209,6 +210,30 @@ heatmap-smoke:
 		-heatmap /tmp/tmcc_hm_run.csv > /dev/null 2> /dev/null
 	/tmp/tmcctop -heatmap /tmp/tmcc_hm.watch -iters 1 | grep -q 'regions'
 	@echo "heatmap-smoke: regions conserve, -j byte-identity, plain output untouched"
+
+# ras-smoke proves the self-healing RAS layer end to end on a binary with
+# the tmccdebug invariants and the race detector armed:
+#   1. a 25-plan seeded chaos campaign passes the invariant battery on
+#      every plan (attr conservation, heatmap reconciliation, graceful
+#      errors only, zero panics) and writes no failure artifact — any
+#      failure would have been delta-debugged to a 1-minimal plan there;
+#   2. with the RAS/fault flags off, the full quick suite from the armed
+#      binary is byte-identical to the plain build at -j 1 and -j 4 —
+#      the RAS wiring costs exactly one nil branch.
+ras-smoke:
+	$(GO) build -o /tmp/tmccsim ./cmd/tmccsim
+	$(GO) build -race -tags tmccdebug -o /tmp/tmccsim_ras ./cmd/tmccsim
+	rm -f /tmp/tmcc_ras_failures.txt
+	/tmp/tmccsim_ras -campaign 25 -campaign-out /tmp/tmcc_ras_failures.txt
+	@if [ -e /tmp/tmcc_ras_failures.txt ]; then \
+		echo "ras-smoke: campaign wrote a failure artifact:"; \
+		cat /tmp/tmcc_ras_failures.txt; exit 1; fi
+	/tmp/tmccsim -all -quick -format csv > /tmp/tmcc_ras_plain.csv
+	/tmp/tmccsim_ras -all -quick -format csv -j 1 > /tmp/tmcc_ras_off_j1.csv
+	/tmp/tmccsim_ras -all -quick -format csv -j 4 > /tmp/tmcc_ras_off_j4.csv
+	diff -u /tmp/tmcc_ras_plain.csv /tmp/tmcc_ras_off_j1.csv
+	diff -u /tmp/tmcc_ras_off_j1.csv /tmp/tmcc_ras_off_j4.csv
+	@echo "ras-smoke: 25-plan campaign green, flags-off byte-identity holds"
 
 # bench-record appends this machine's flags-off quick-suite measurement to
 # the committed perf ledger; review the BENCH_trajectory.json diff to spot

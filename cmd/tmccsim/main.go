@@ -9,7 +9,8 @@
 //	tmccsim -all [-quick] [-seed 42] [-j 4] [-stats]
 //	tmccsim -exp fig18 -metrics out.json -trace out.trace -pprof :6060
 //	tmccsim -run canneal -kind tmcc -budget 12000
-//	tmccsim -run canneal -kind tmcc -faults cte=0.05,payload=0.02 -chaos-seed 7
+//	tmccsim -run canneal -kind tmcc -faults cte=0.05,payload=0.02 -chaos-seed 7 -ras
+//	tmccsim -campaign 25 -seed 42 -campaign-out failures.txt
 //
 // All experiments run through the shared engine in internal/exp/engine:
 // -j bounds the simulation worker pool, and identical simulation points
@@ -40,6 +41,7 @@ import (
 	"tmcc/internal/obs/attr"
 	"tmcc/internal/obs/heatmap"
 	"tmcc/internal/obs/timeline"
+	"tmcc/internal/ras"
 	"tmcc/internal/sim"
 )
 
@@ -74,6 +76,11 @@ func main() {
 		budget    = flag.Uint64("budget", 0, "DRAM budget in 4KB frames for -run (0 = Compresso's natural usage)")
 		faults    = flag.String("faults", "", "fault plan, e.g. cte=0.02,stale=0.01,payload=0.01,spike=0.005:250ns,busy=0.005:100ns:3")
 		chaosSeed = flag.Int64("chaos-seed", 1, "seed for the fault plan's deterministic injectors")
+		rasOn     = flag.Bool("ras", false, "arm the self-healing RAS layer (page retirement, degraded mode, CTE scrubbing) with the default policy")
+
+		campaign     = flag.Int("campaign", 0, "run N seeded chaos fault plans through the invariant battery, minimizing any failure")
+		campaignOut  = flag.String("campaign-out", "campaign-failures.txt", "artifact path for minimized failing plans (with -campaign)")
+		campaignPlan = flag.String("campaign-plan", "", "run the invariant battery once on this fault plan (the repro hook -campaign artifacts name)")
 	)
 	flag.Parse()
 
@@ -95,14 +102,12 @@ func main() {
 	// A panicking run is retried once after a short real-world pause
 	// (internal/ never sleeps itself; the backoff is injected like the clock).
 	eng.SetRetryBackoff(func() { time.Sleep(250 * time.Millisecond) })
-	if *faults != "" {
-		plan, err := fault.ParsePlan(*faults)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
-		}
-		plan.Seed = *chaosSeed
-		eng.SetFaultPlan(plan)
+	if err := armFaults(eng, *faults, *chaosSeed); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *rasOn {
+		eng.SetRAS(ras.Default())
 	}
 
 	// Observability: the registry/tracer are created and their output files
@@ -160,6 +165,22 @@ func main() {
 	switch {
 	case *list:
 		fmt.Println(strings.Join(exp.IDs(), "\n"))
+	case *campaign > 0:
+		if err := runCampaign(os.Stdout, *campaign, *jobs, *seed, *campaignOut); err != nil {
+			fail(err)
+		}
+	case *campaignPlan != "":
+		plan, err := fault.ParsePlan(strings.TrimSpace(*campaignPlan))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		plan.Seed = *chaosSeed
+		if err := runBattery(plan, *jobs, *seed); err != nil {
+			fail(fmt.Errorf("campaign-plan %q: %w", plan, err))
+		} else {
+			fmt.Printf("campaign-plan %q: all invariants held\n", plan)
+		}
 	case *single != "":
 		if err := runSingle(os.Stdout, eng, *single, *kindName, *budget, cfg); err != nil {
 			fail(err)
@@ -249,6 +270,26 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// armFaults parses the -faults flag and arms the engine's fault plan. A
+// whitespace-only spec, and a spec that parses but enables nothing (all
+// probabilities zero), are strict no-ops: the engine stays healthy and
+// the run is byte-identical to one without the flag.
+func armFaults(eng *engine.Engine, spec string, seed int64) error {
+	f := strings.TrimSpace(spec)
+	if f == "" {
+		return nil
+	}
+	plan, err := fault.ParsePlan(f)
+	if err != nil {
+		return err
+	}
+	plan.Seed = seed
+	if plan.Enabled() {
+		eng.SetFaultPlan(plan)
+	}
+	return nil
 }
 
 // diagnose turns the one actionable failure class into a one-line

@@ -19,6 +19,12 @@
 // falls back to the frame's heatmap and -heatmap to its timeline, so a
 // live view keeps rendering whatever the emitter actually carries.
 //
+// Snapshots and watch frames carrying mc.<kind>.ras.* instruments (runs
+// with tmccsim -ras) additionally render a per-(benchmark, kind) RAS
+// status line — retired pages, breaker state, scrub coverage — with the
+// same missing-section fallback: frames without RAS counters get a short
+// note in -watch mode and nothing in snapshot mode.
+//
 // Snapshots come from `tmccsim -metrics`, traces from `tmccsim -trace`,
 // watch files from `tmccsim -watchfile`.
 package main
@@ -69,6 +75,14 @@ func main() {
 		s, err := readSnapshotFile(flag.Arg(0))
 		if err != nil {
 			fatal(err)
+		}
+		// A snapshot from a -ras run leads with the self-healing status;
+		// snapshots without the section render exactly as before.
+		if lines := rasStatus(s, heatmap.Snapshot{}); len(lines) > 0 {
+			for _, l := range lines {
+				fmt.Println(l)
+			}
+			fmt.Println()
 		}
 		renderSnapshot(os.Stdout, s)
 	case flag.NArg() == 2:
@@ -131,6 +145,88 @@ func scalar(s obs.Sample) int64 {
 		return int64(s.Count)
 	}
 	return s.Value
+}
+
+// rasStatus summarizes the self-healing layer from the registry's
+// mc.<kind>.ras.* instruments: one line per controller kind with the
+// retired-frame count, the breaker state (reconstructed from the open and
+// close transition counters), and the patrol's page coverage. Benchmark
+// labels come from the artifact's heatmap groups when it carries them
+// (the registry aggregates mc.* per kind); "*" marks a kind several
+// benchmarks shared. Nil result when the snapshot holds no RAS
+// instruments — the RAS layer was off.
+func rasStatus(s obs.Snapshot, hm heatmap.Snapshot) []string {
+	byKind := map[string]map[string]int64{}
+	for _, sm := range s.Samples {
+		rest, ok := strings.CutPrefix(sm.Path, "mc.")
+		if !ok {
+			continue
+		}
+		kind, leaf, ok := strings.Cut(rest, ".ras.")
+		if !ok {
+			continue
+		}
+		m := byKind[kind]
+		if m == nil {
+			m = map[string]int64{}
+			byKind[kind] = m
+		}
+		m[leaf] = sm.Value
+	}
+	if len(byKind) == 0 {
+		return nil
+	}
+	bench := map[string]string{}
+	for _, g := range hm.Groups {
+		if b, seen := bench[g.Kind]; seen && b != g.Benchmark {
+			bench[g.Kind] = "*"
+		} else if !seen {
+			bench[g.Kind] = g.Benchmark
+		}
+	}
+	kinds := make([]string, 0, len(byKind))
+	for k := range byKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	lines := make([]string, 0, len(kinds))
+	for _, k := range kinds {
+		m := byKind[k]
+		label := k
+		if b := bench[k]; b != "" {
+			label = b + "/" + k
+		}
+		state := "closed"
+		if m["breaker.opens"] > m["breaker.closes"] {
+			state = "OPEN"
+		}
+		coverage := 0.0
+		if pages := m["pages"]; pages > 0 {
+			coverage = 100 * float64(m["scrub.pages"]) / float64(pages)
+			if coverage > 100 {
+				coverage = 100 // patrol lapped the table
+			}
+		}
+		lines = append(lines, fmt.Sprintf(
+			"ras %s: retired=%d strikes=%d breaker=%s (opens=%d closes=%d) scrub=%.1f%% (detected=%d) degradedWrites=%d",
+			label, m["retired"], m["strikes"], state,
+			m["breaker.opens"], m["breaker.closes"],
+			coverage, m["scrub.detections"], m["degradedWrites"]))
+	}
+	return lines
+}
+
+// renderRAS prints the RAS status section, or the missing-section note —
+// like -heatmap's fallback, an artifact without the section still renders.
+func renderRAS(w io.Writer, s obs.Snapshot, hm heatmap.Snapshot) {
+	lines := rasStatus(s, hm)
+	if len(lines) == 0 {
+		fmt.Fprintln(w, "no RAS counters in this snapshot; run tmccsim with -ras")
+		return
+	}
+	for _, l := range lines {
+		fmt.Fprintln(w, l)
+	}
 }
 
 // renderSnapshot prints the samples as a path-sorted table.
@@ -253,6 +349,8 @@ func renderWatch(w io.Writer, ws obs.WatchSnapshot, lastSeq uint64) {
 		stale = " (stale: no new frame since last refresh)"
 	}
 	fmt.Fprintf(w, "tmcctop -watch: frame %d%s%s\n\n", ws.Seq, stamp, stale)
+	renderRAS(w, ws.Metrics, ws.Heatmap)
+	fmt.Fprintln(w)
 	if len(ws.Attr.Groups) > 0 {
 		if err := ws.Attr.WriteTable(w); err != nil {
 			fmt.Fprintf(w, "breakdown: %v\n", err)
@@ -395,8 +493,8 @@ const maxHeatRows = 16
 const heatBarSlots = 32
 
 // tierColor maps a region's dominant residency tier to the ANSI color of
-// its heat bar: ML1 green, ML2 cyan, overflow red.
-var tierColor = [heatmap.NumTiers]string{"\033[32m", "\033[36m", "\033[31m"}
+// its heat bar: ML1 green, ML2 cyan, overflow red, retired magenta.
+var tierColor = [heatmap.NumTiers]string{"\033[32m", "\033[36m", "\033[31m", "\033[35m"}
 
 // ansiReset ends a colored heat bar.
 const ansiReset = "\033[0m"
@@ -460,7 +558,7 @@ func renderHeatmapGroup(w io.Writer, g heatmap.GroupHeatmap, regionPages uint64)
 		}
 	}
 	mib := regionPages * 4 * config.KiB / config.MiB
-	fmt.Fprintf(w, "%s/%s — top %d of %d regions (%d MiB each; green=ml1 cyan=ml2 red=overflow)\n",
+	fmt.Fprintf(w, "%s/%s — top %d of %d regions (%d MiB each; green=ml1 cyan=ml2 red=overflow magenta=retired)\n",
 		g.Benchmark, g.Kind, shown, len(regions), mib)
 	for _, r := range regions[:shown] {
 		churn := r.Events[heatmap.EvML1ToML2] + r.Events[heatmap.EvML2ToML1] + r.Events[heatmap.EvEmergency]

@@ -27,6 +27,7 @@ import (
 	"tmcc/internal/config"
 	"tmcc/internal/fault"
 	"tmcc/internal/obs"
+	"tmcc/internal/ras"
 	"tmcc/internal/sim"
 )
 
@@ -108,6 +109,7 @@ type Engine struct {
 	// directly on the hot path.
 	sleep func()
 	plan  fault.Plan // per-run fault plan; zero value = healthy runs
+	rcfg  ras.Config // per-run RAS policy; zero value = layer off
 
 	mu     sync.Mutex
 	memo   map[Key]*call
@@ -181,7 +183,7 @@ func (e *Engine) executeRun(opt sim.Options) (sim.Metrics, error) {
 	if e.plan.Enabled() {
 		inj = fault.NewInjector(e.plan, fault.RunSalt(fmt.Sprintf("%+v", KeyOf(opt))))
 	}
-	r, err := sim.NewRunnerInjected(opt, e.ob, inj)
+	r, err := sim.NewRunnerFull(opt, e.ob, inj, e.rcfg)
 	if err != nil {
 		return sim.Metrics{}, err
 	}
@@ -246,6 +248,15 @@ func (e *Engine) SetFaultPlan(p fault.Plan) { e.plan = p }
 
 // FaultPlan returns the armed plan (zero value when healthy).
 func (e *Engine) FaultPlan() fault.Plan { return e.plan }
+
+// SetRAS arms the self-healing reliability policies for every subsequent
+// non-memoized run. Like the fault plan, the RAS config is deliberately
+// NOT part of the memo key — one process runs one policy. Must be called
+// while no jobs are in flight.
+func (e *Engine) SetRAS(c ras.Config) { e.rcfg = c }
+
+// RAS returns the armed policy config (zero value when the layer is off).
+func (e *Engine) RAS() ras.Config { return e.rcfg }
 
 // FaultCounters returns the faults fired across all executed runs.
 func (e *Engine) FaultCounters() fault.Counters {

@@ -119,15 +119,24 @@ func ParsePlan(s string) (Plan, error) {
 	if s == "" {
 		return p, nil
 	}
-	for _, entry := range strings.Split(s, ",") {
-		key, rest, _ := strings.Cut(strings.TrimSpace(entry), "=")
+	off := 0 // byte offset of the current clause in the trimmed plan string
+	for i, entry := range strings.Split(s, ",") {
+		clause := strings.TrimSpace(entry)
+		// Every diagnostic names the offending clause and where it sits in
+		// the plan, so a long -faults string pinpoints itself: the clause's
+		// 1-based index and the byte position of its first non-space rune.
+		fail := func(format string, args ...any) (Plan, error) {
+			return Plan{}, fmt.Errorf("fault: clause %d (%q, at byte %d): %s",
+				i+1, clause, off+strings.Index(entry, clause), fmt.Sprintf(format, args...))
+		}
+		key, rest, _ := strings.Cut(clause, "=")
 		val, knobs, _ := strings.Cut(rest, ":")
 		prob, err := strconv.ParseFloat(val, 64)
 		if err != nil {
-			return Plan{}, fmt.Errorf("fault: %q: bad probability %q", key, val)
+			return fail("bad probability %q (want class=probability[:knobs])", val)
 		}
 		if prob < 0 || prob > 1 {
-			return Plan{}, fmt.Errorf("fault: %q: probability %g outside [0,1]", key, prob)
+			return fail("probability %g outside [0,1]", prob)
 		}
 		switch key {
 		case "cte":
@@ -141,7 +150,10 @@ func ParsePlan(s string) (Plan, error) {
 			if knobs != "" {
 				d, err := time.ParseDuration(knobs)
 				if err != nil {
-					return Plan{}, fmt.Errorf("fault: spike latency %q: %v", knobs, err)
+					return fail("spike latency %q: %v", knobs, err)
+				}
+				if d < 0 {
+					return fail("spike latency %q: must not be negative", knobs)
 				}
 				p.SpikeLatency = config.Time(d.Nanoseconds()) * config.Nanosecond
 			}
@@ -151,20 +163,24 @@ func ParsePlan(s string) (Plan, error) {
 				bo, retries, _ := strings.Cut(knobs, ":")
 				d, err := time.ParseDuration(bo)
 				if err != nil {
-					return Plan{}, fmt.Errorf("fault: busy backoff %q: %v", bo, err)
+					return fail("busy backoff %q: %v", bo, err)
+				}
+				if d < 0 {
+					return fail("busy backoff %q: must not be negative", bo)
 				}
 				p.BusyBackoff = config.Time(d.Nanoseconds()) * config.Nanosecond
 				if retries != "" {
 					n, err := strconv.Atoi(retries)
 					if err != nil || n < 1 {
-						return Plan{}, fmt.Errorf("fault: busy retries %q: want a positive integer", retries)
+						return fail("busy retries %q: want a positive integer", retries)
 					}
 					p.BusyRetries = n
 				}
 			}
 		default:
-			return Plan{}, fmt.Errorf("fault: unknown class %q (want cte, stale, payload, spike, busy)", key)
+			return fail("unknown class %q (want cte, stale, payload, spike, busy)", key)
 		}
+		off += len(entry) + 1
 	}
 	return p, nil
 }

@@ -1,0 +1,60 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParsePlan drives the -faults grammar: every input must either parse
+// into a plan whose canonical rendering round-trips, or fail with a
+// positional diagnostic naming the offending clause. The seed corpus
+// holds one entry per clause kind plus each knob form.
+func FuzzParsePlan(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"cte=0.02",
+		"stale=0.01",
+		"payload=0.01",
+		"spike=0.005",
+		"spike=0.005:250ns",
+		"busy=0.005",
+		"busy=0.005:100ns",
+		"busy=0.005:100ns:3",
+		"cte=0.02,stale=0.01,payload=0.01,spike=0.005:250ns,busy=0.005:100ns:3",
+		" payload = 0.5 ",
+		"cte=1.5",
+		"cte=nope",
+		"bogus=0.1",
+		"spike=0.1:xyz",
+		"busy=0.1:5ns:-2",
+		"spike=0.1:-5ns",
+		",,",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParsePlan(s)
+		if err != nil {
+			// Diagnostics locate the failure: clause index + text + byte
+			// position, always in the same shape.
+			if !strings.HasPrefix(err.Error(), "fault: clause ") {
+				t.Fatalf("ParsePlan(%q) error %q lacks clause position", s, err)
+			}
+			return
+		}
+		// A parsed plan's canonical rendering must re-parse to the same
+		// armed classes and probabilities (knob defaults may differ from
+		// the input's implicit values, so compare the round-tripped pair).
+		r1 := p.String()
+		p2, err := ParsePlan(r1)
+		if err != nil {
+			t.Fatalf("ParsePlan(%q) ok but re-parse of %q failed: %v", s, r1, err)
+		}
+		if r2 := p2.String(); r1 != r2 {
+			t.Fatalf("round-trip unstable: %q -> %q -> %q", s, r1, r2)
+		}
+		if p.Enabled() != p2.Enabled() {
+			t.Fatalf("round-trip changed Enabled: %q", s)
+		}
+	})
+}

@@ -18,9 +18,13 @@ import (
 const ChunkSize = 4096
 
 // ML1 tracks free 4KB DRAM chunks as a LIFO (the paper pushes freed chunks
-// to the top and pops from the top).
+// to the top and pops from the top). Chunks the RAS layer has retired are
+// permanently out of circulation: Push drops them and any free copy is
+// removed at retirement, so a faulty frame can never be re-issued — not
+// even through ML2's direct carve path, which pops chunks from here.
 type ML1 struct {
-	free []uint32 // chunk numbers
+	free    []uint32        // chunk numbers
+	retired map[uint32]bool // nil until the first Retire
 }
 
 // NewML1 starts with the given chunks free, in order.
@@ -43,8 +47,36 @@ func (f *ML1) Pop() (uint32, bool) {
 	return c, true
 }
 
-// Push returns a chunk to the top.
-func (f *ML1) Push(c uint32) { f.free = append(f.free, c) }
+// Push returns a chunk to the top; retired chunks are silently dropped.
+func (f *ML1) Push(c uint32) {
+	if f.retired != nil && f.retired[c] {
+		return
+	}
+	f.free = append(f.free, c)
+}
+
+// Retire withdraws a chunk from circulation for good: a later Push is a
+// no-op, and a free copy (belt and braces — the RAS layer retires frames
+// under resident pages, which are never free) is removed immediately.
+// Idempotent.
+func (f *ML1) Retire(c uint32) {
+	if f.retired == nil {
+		f.retired = make(map[uint32]bool)
+	}
+	if f.retired[c] {
+		return
+	}
+	f.retired[c] = true
+	for i, fc := range f.free {
+		if fc == c {
+			f.free = append(f.free[:i], f.free[i+1:]...)
+			return
+		}
+	}
+}
+
+// Retired reports how many chunks have been retired.
+func (f *ML1) Retired() int { return len(f.retired) }
 
 // SizeClass is one ML2 sub-chunk size with its super-chunk geometry.
 type SizeClass struct {

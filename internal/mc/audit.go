@@ -52,8 +52,23 @@ func (m *MC) AuditPages() error {
 	ml1Resident := 0
 	inML2 := 0
 	overflowResident := 0
+	retired := 0
 	for ppn := range m.pages {
 		st := &m.pages[ppn]
+		if st.retired {
+			// A retired page must sit pinned uncompressed on its frame:
+			// never in ML2, never a compression candidate again.
+			retired++
+			if st.inML2 {
+				return fmt.Errorf("ppn %#x: retired page stored in ML2", ppn)
+			}
+			if !st.incompressible {
+				return fmt.Errorf("ppn %#x: retired page still marked compressible", ppn)
+			}
+			if !st.placed {
+				return fmt.Errorf("ppn %#x: retired page not placed", ppn)
+			}
+		}
 		if !st.placed {
 			if st.inML2 {
 				return fmt.Errorf("ppn %#x: in ML2 but never placed", ppn)
@@ -105,6 +120,10 @@ func (m *MC) AuditPages() error {
 	if overflowResident != m.pressure.overflowUsed {
 		return fmt.Errorf("overflowUsed=%d but %d pages sit on overflow frames",
 			m.pressure.overflowUsed, overflowResident)
+	}
+	if uint64(retired) != m.ras.Retired() {
+		return fmt.Errorf("ras reports %d retired frames but %d pages are marked retired",
+			m.ras.Retired(), retired)
 	}
 	if err := m.ml2.Audit(); err != nil {
 		return fmt.Errorf("ml2: %w", err)

@@ -35,6 +35,7 @@ import (
 	"tmcc/internal/obs"
 	"tmcc/internal/obs/attr"
 	"tmcc/internal/obs/heatmap"
+	"tmcc/internal/ras"
 	"tmcc/internal/recency"
 	"tmcc/internal/workload"
 )
@@ -95,6 +96,11 @@ type Config struct {
 	// simulator, which owns the PTB path). nil keeps every site on its
 	// no-fault branch, byte-identical to an un-instrumented build.
 	Inject *fault.Injector
+	// RAS arms the self-healing reliability policies (page retirement,
+	// degraded-mode breaker, background scrubbing). The zero value keeps
+	// the layer off — like Inject, RAS lives outside the experiment
+	// engine's memoization key and the disabled path is byte-identical.
+	RAS ras.Config
 }
 
 // AccessTag classifies how an ML1 read was served (Figure 19).
@@ -144,6 +150,9 @@ type pageState struct {
 	inML2          bool
 	incompressible bool
 	placed         bool
+	// retired pins the page uncompressed on a frame the RAS scoreboard
+	// permanently withdrew from circulation (implies incompressible).
+	retired bool
 }
 
 // MC is one memory-side controller instance.
@@ -173,6 +182,12 @@ type MC struct {
 	inj      *fault.Injector
 	pressure pressureState
 	capErr   *CapacityError
+
+	// ras is the self-healing policy state (nil when the layer is off);
+	// rasBacklog banks background patrol cycle cost until the next demand
+	// access drains it onto the critical path (ras.go).
+	ras        *ras.State
+	rasBacklog config.Time
 
 	// Migration staging buffer (Section VI): busy-until timestamps (in
 	// picoseconds) of the eight 4KB entries; a demand ML2 read stalls
@@ -238,6 +253,19 @@ type mcObs struct {
 	faultBusy       *obs.Counter
 	faultRetry      *obs.Counter
 	faultTimeout    *obs.Counter
+
+	// ras.* — self-healing policy activity (registered only when armed).
+	rasRetired        *obs.Counter // frames permanently retired
+	rasStrikes        *obs.Counter // scoreboard strikes recorded
+	rasBreakerOpen    *obs.Counter // breaker open transitions
+	rasBreakerClose   *obs.Counter // breaker re-arm transitions
+	rasDegradedWrites *obs.Counter // writes served in writethrough mode
+	rasBacklogPS      *obs.Counter // picoseconds of RAS work charged to demand
+	rasScrubPages     *obs.Counter // patrol page visits
+	rasScrubDetect    *obs.Counter // latent corruptions the patrol caught
+	rasScrubCTE       *obs.Counter // PTBs the simulator's CTE patrol examined
+	rasScrubRepair    *obs.Counter // stale embedded CTEs refreshed by patrol
+	rasPages          *obs.Gauge   // OS pool size (patrol coverage basis)
 }
 
 // observe registers the controller's instruments under "mc.<kind>.". The
@@ -281,6 +309,20 @@ func (m *MC) observe(o *obs.Observer) {
 		m.ob.faultBusy = o.Counter(p + "fault.dramBusy")
 		m.ob.faultRetry = o.Counter(p + "fault.dramRetries")
 		m.ob.faultTimeout = o.Counter(p + "fault.dramTimeouts")
+	}
+	if m.ras != nil {
+		m.ob.rasRetired = o.Counter(p + "ras.retired")
+		m.ob.rasStrikes = o.Counter(p + "ras.strikes")
+		m.ob.rasBreakerOpen = o.Counter(p + "ras.breaker.opens")
+		m.ob.rasBreakerClose = o.Counter(p + "ras.breaker.closes")
+		m.ob.rasDegradedWrites = o.Counter(p + "ras.degradedWrites")
+		m.ob.rasBacklogPS = o.Counter(p + "ras.backlogPS")
+		m.ob.rasScrubPages = o.Counter(p + "ras.scrub.pages")
+		m.ob.rasScrubDetect = o.Counter(p + "ras.scrub.detections")
+		m.ob.rasScrubCTE = o.Counter(p + "ras.scrub.ctePTBs")
+		m.ob.rasScrubRepair = o.Counter(p + "ras.scrub.cteRepairs")
+		m.ob.rasPages = o.Gauge(p + "ras.pages")
+		m.ob.rasPages.Set(int64(len(m.pages)))
 	}
 	if m.cte != nil {
 		m.cte.Observe(o.Counter(p+"ctecache.hit"), o.Counter(p+"ctecache.miss"))
@@ -387,6 +429,9 @@ func New(cfg Config) (*MC, error) {
 	}
 	if cfg.OSPages > 0 {
 		m.pages = make([]pageState, cfg.OSPages)
+	}
+	if cfg.RAS.Enabled() && cfg.OSPages > 0 {
+		m.ras = ras.New(cfg.RAS, int(cfg.OSPages), cfg.Seed)
 	}
 	m.observe(cfg.Obs)
 	return m, nil
@@ -585,6 +630,11 @@ func (m *MC) Access(now config.Time, ppn uint64, blockOff int, write bool, embed
 	if !st.placed {
 		now = m.lazyPlace(now, ppn)
 	}
+	if m.ras != nil {
+		// Window-edge probe for the reliability policies: breaker
+		// evaluation, patrol quota, and banked-backlog drain (ras.go).
+		now = m.rasTick(now)
+	}
 
 	if m.cfg.Kind == Uncompressed {
 		done := m.dramOp(now, m.dataAddr(st, blockOff), write)
@@ -613,10 +663,16 @@ func (m *MC) Access(now config.Time, ppn uint64, blockOff int, write bool, embed
 		}
 	}
 
+	var res Result
 	if m.cfg.Kind == Compresso {
-		return m.accessCompresso(now, st, ppn, blockOff, write, cteHit)
+		res = m.accessCompresso(now, st, ppn, blockOff, write, cteHit)
+	} else {
+		res = m.accessTwoLevel(now, st, ppn, blockOff, write, cteHit, embedded)
 	}
-	return m.accessTwoLevel(now, st, ppn, blockOff, write, cteHit, embedded)
+	if m.ras != nil {
+		res = m.rasResult(res, write)
+	}
+	return res
 }
 
 func (m *MC) accessCompresso(now config.Time, st *pageState, ppn uint64, blockOff int, write bool, cteHit bool) Result {
@@ -660,7 +716,9 @@ func (m *MC) accessTwoLevel(now config.Time, st *pageState, ppn uint64, blockOff
 	// Sample 1% of ML1 accesses into the Recency List (Section IV-B).
 	if !st.inML2 && m.rng.Float64() < m.cfg.Sys.Comp.RecencySampleRate {
 		if st.incompressible {
-			if write && m.rng.Float64() < 0.01 {
+			// Retired pages never re-candidate: their frame is permanently
+			// pinned uncompressed.
+			if !st.retired && write && m.rng.Float64() < 0.01 {
 				m.rec.InsertCold(ppn) // re-candidate after writebacks
 				st.incompressible = false
 			}
@@ -822,6 +880,7 @@ func (m *MC) serveML2(now config.Time, st *pageState, ppn uint64, blockOff int, 
 		m.inj.NoteQuarantine()
 		m.ob.faultQuarantine.Inc()
 		m.heat.Event(ppn, heatmap.EvQuarantine)
+		m.rasStrike(ppn)
 		respond += m.cfg.ML2HalfPage
 		if m.ab != nil {
 			m.ab.Add(attr.CVerifyRedo, m.cfg.ML2HalfPage)
@@ -864,6 +923,9 @@ func (m *MC) serveML2(now config.Time, st *pageState, ppn uint64, blockOff int, 
 	st.chunk = chunk
 	if quarantine {
 		st.incompressible = true
+		if m.ras != nil {
+			m.maybeRetire(ppn, st)
+		}
 	}
 	m.ml1Size++
 	m.rec.Touch(ppn)
@@ -912,6 +974,12 @@ func (m *MC) Settle() {
 // access triggers at most a couple of evictions.
 func (m *MC) maybeEvict(now config.Time) {
 	if m.ml1 == nil {
+		return
+	}
+	if m.ras != nil && m.ras.Degraded() {
+		// Breaker open: stop feeding pages into the (suspect) compressed
+		// tier. The emergency ladder still force-migrates when the free
+		// list empties, so the controller cannot wedge.
 		return
 	}
 	if m.ml1.Len() >= m.lowMark {
@@ -1073,6 +1141,8 @@ func (m *MC) SampleResidency(f func(ppn uint64, tier heatmap.Tier)) {
 			continue
 		}
 		switch {
+		case st.retired:
+			f(uint64(ppn), heatmap.TierRetired)
 		case st.inML2:
 			f(uint64(ppn), heatmap.TierML2)
 		case uint64(st.chunk) >= m.cfg.BudgetPages:

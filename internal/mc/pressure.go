@@ -208,6 +208,9 @@ func (m *MC) injectDRAM(now config.Time, addr uint64) config.Time {
 			if try+1 >= m.inj.BusyRetries() {
 				m.inj.NoteTimeout()
 				m.ob.faultTimeout.Inc()
+				// Feed the RAS breaker: a timeout is a definite fault but
+				// has no page to blame, so it never strikes a scoreboard.
+				m.ras.Fault()
 				break
 			}
 		}

@@ -59,13 +59,14 @@ const (
 	CMigStall      // stall waiting for a migration-buffer slot
 	CPressureStall // capacity-pressure stall: emergency force-migration blocking a placement
 	CNoC           // network-on-chip hop between LLC and MC
+	CDegraded      // RAS degraded-mode overhead: writethrough + scrub cycles while the breaker is open
 	NumComponents
 )
 
 var componentNames = [NumComponents]string{
 	"walk", "cacheHit", "cteLookup", "cteSerial", "cteParallel",
 	"overlapCredit", "verifyRedo", "dataML1", "dataML2", "decompress",
-	"migStall", "pressureStall", "noc",
+	"migStall", "pressureStall", "noc", "degraded",
 }
 
 // String returns the stable column name used in CSV headers and flame
@@ -390,7 +391,7 @@ var CSVHeader = []string{
 	"benchmark", "kind", "class", "accesses", "totalPS",
 	"walkPS", "cacheHitPS", "cteLookupPS", "cteSerialPS", "cteParallelPS",
 	"overlapCreditPS", "verifyRedoPS", "dataML1PS", "dataML2PS",
-	"decompressPS", "migStallPS", "pressureStallPS", "nocPS",
+	"decompressPS", "migStallPS", "pressureStallPS", "nocPS", "degradedPS",
 }
 
 // WriteCSV writes the snapshot as one row per (benchmark, kind, class)

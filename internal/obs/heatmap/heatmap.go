@@ -61,11 +61,13 @@ const (
 	EvML2Read                 // demand access served from ML2
 	EvEmergency               // pressure-ladder force-migration victim
 	EvQuarantine              // payload-fault quarantine out of ML2
+	EvRetired                 // RAS scoreboard permanently retired the page's frame
 	NumEvents
 )
 
 var eventNames = [NumEvents]string{
 	"ml1ToML2", "ml2ToML1", "ml2Read", "emergencyMigration", "quarantine",
+	"retired",
 }
 
 // String names the event (CSV rows key off these).
@@ -84,10 +86,11 @@ const (
 	TierML1      Tier = iota // uncompressed, inside the nominal budget
 	TierML2                  // compressed sub-chunks
 	TierOverflow             // uncompressed, pressure-ladder overflow frame
+	TierRetired              // page resident on a frame the RAS scoreboard retired
 	NumTiers
 )
 
-var tierNames = [NumTiers]string{"ml1", "ml2", "overflow"}
+var tierNames = [NumTiers]string{"ml1", "ml2", "overflow", "retired"}
 
 // String names the tier.
 func (t Tier) String() string {

@@ -198,6 +198,7 @@ func heatCounterPaths(kind string) map[string]heatmap.Event {
 		p + "ml2.reads":                    heatmap.EvML2Read,
 		p + "pressure.emergencyMigrations": heatmap.EvEmergency,
 		p + "fault.quarantines":            heatmap.EvQuarantine,
+		p + "ras.retired":                  heatmap.EvRetired,
 	}
 }
 

@@ -268,6 +268,19 @@ func (t *Table) PTBSlot(addr uint64) (int, bool) {
 	return int(t.byPPN[ppn].idx)*PTBsPerPage + int(addr%PageSizeBytes)/PTBSize, true
 }
 
+// PTBAddrBySlot is PTBSlot's inverse: the physical byte address of the
+// PTB at the given dense slot. ok=false for out-of-range slots. Table
+// pages are listed in creation order, matching the idx each node carries,
+// so the mapping is one bounds check and one load — cheap enough for the
+// RAS layer's bounded background patrol over all PTB slots.
+func (t *Table) PTBAddrBySlot(slot int) (uint64, bool) {
+	pg := slot / PTBsPerPage
+	if slot < 0 || pg >= len(t.ppns) {
+		return 0, false
+	}
+	return t.ppns[pg]<<PageShift + uint64(slot%PTBsPerPage)*PTBSize, true
+}
+
 // PTBByAddr returns the eight raw PTEs of the PTB at the given physical
 // byte address (as produced in walk steps); ok=false if the address does
 // not fall in a table page.

@@ -1,0 +1,151 @@
+package ras
+
+import (
+	"testing"
+
+	"tmcc/internal/config"
+)
+
+func TestNilStateIsInert(t *testing.T) {
+	var s *State
+	if tk := s.Tick(config.Millisecond); tk != (TickResult{}) {
+		t.Errorf("nil Tick = %+v, want zero", tk)
+	}
+	s.Fault()
+	s.Strike(3)
+	s.MarkRetired()
+	if s.Degraded() || s.ShouldRetire(3) || s.Retired() != 0 ||
+		s.NextScrub(100) != 0 || s.ScrubPagePS() != 0 || s.WritethroughPS() != 0 {
+		t.Error("nil State answered non-inertly")
+	}
+}
+
+func TestNewDisabledConfigs(t *testing.T) {
+	if s := New(Config{}, 100, 1); s != nil {
+		t.Error("zero config built a live State")
+	}
+	if s := New(Default(), 0, 1); s != nil {
+		t.Error("zero pages built a live State")
+	}
+	if s := New(Default(), 100, 1); s == nil {
+		t.Error("default config did not build a State")
+	}
+	if (Config{}).Enabled() {
+		t.Error("zero config reports enabled")
+	}
+	if !Default().Enabled() {
+		t.Error("default config reports disabled")
+	}
+}
+
+func TestScoreboardRetiresAfterKStrikes(t *testing.T) {
+	s := New(Config{RetireStrikes: 3}, 10, 0)
+	s.Strike(4)
+	s.Strike(4)
+	if s.ShouldRetire(4) {
+		t.Fatal("2 strikes crossed a 3-strike threshold")
+	}
+	s.Strike(4)
+	if !s.ShouldRetire(4) {
+		t.Fatal("3rd strike did not cross the threshold")
+	}
+	if s.ShouldRetire(5) {
+		t.Error("strikes leaked to a different page")
+	}
+	// Out-of-range pages never strike and never retire.
+	s.Strike(99)
+	if s.ShouldRetire(99) {
+		t.Error("out-of-range page retired")
+	}
+	// The per-page counter saturates instead of wrapping back under the
+	// threshold.
+	for i := 0; i < 300; i++ {
+		s.Strike(4)
+	}
+	if !s.ShouldRetire(4) {
+		t.Error("scoreboard wrapped past the threshold")
+	}
+	s.MarkRetired()
+	if s.Retired() != 1 {
+		t.Errorf("Retired = %d, want 1", s.Retired())
+	}
+}
+
+func TestBreakerOpensAndClosesWithHysteresis(t *testing.T) {
+	w := 100 * config.Nanosecond
+	s := New(Config{BreakerFaults: 2, BreakerCleanWindows: 2, WindowPS: w}, 10, 0)
+
+	// One fault in the first window: under threshold, stays closed.
+	s.Fault()
+	if tk := s.Tick(w + 1); tk.Opened || s.Degraded() {
+		t.Fatal("breaker opened under threshold")
+	}
+	// Two faults in the next window: edge opens the breaker.
+	s.Fault()
+	s.Strike(1) // strikes feed the same window
+	tk := s.Tick(2*w + 1)
+	if !tk.Opened || !s.Degraded() {
+		t.Fatal("breaker did not open at threshold")
+	}
+	// First clean window: hysteresis holds it open.
+	if tk := s.Tick(3*w + 1); tk.Closed || !s.Degraded() {
+		t.Fatal("breaker closed after one clean window, want two")
+	}
+	// A faulty window resets the clean streak.
+	s.Fault()
+	if tk := s.Tick(4*w + 1); tk.Closed {
+		t.Fatal("breaker closed through a faulty window")
+	}
+	// Two consecutive clean windows close it.
+	if tk := s.Tick(5*w + 1); tk.Closed {
+		t.Fatal("clean streak did not reset")
+	}
+	if tk := s.Tick(6*w + 1); !tk.Closed || s.Degraded() {
+		t.Fatal("breaker did not close after the hysteresis run")
+	}
+}
+
+func TestTickIgnoresNonMonotonicTimes(t *testing.T) {
+	w := 100 * config.Nanosecond
+	s := New(Config{ScrubPages: 8, WindowPS: w}, 10, 0)
+	if tk := s.Tick(3*w + 1); tk.ScrubPages != 8 {
+		t.Fatalf("edge granted %d scrub pages, want 8", tk.ScrubPages)
+	}
+	// Nested background accesses replay earlier timestamps; they must not
+	// re-cross the edge.
+	if tk := s.Tick(w + 1); tk != (TickResult{}) {
+		t.Errorf("older time re-crossed the window edge: %+v", tk)
+	}
+	if tk := s.Tick(3*w + 1); tk != (TickResult{}) {
+		t.Errorf("same window granted a second quota: %+v", tk)
+	}
+	if tk := s.Tick(4*w + 1); tk.ScrubPages != 8 {
+		t.Errorf("next edge granted %d, want 8", tk.ScrubPages)
+	}
+}
+
+func TestScrubCursorIsSeededAndWraps(t *testing.T) {
+	a := New(Config{ScrubPages: 4}, 5, 3)
+	b := New(Config{ScrubPages: 4}, 5, 3)
+	var sa, sb []uint64
+	for i := 0; i < 12; i++ {
+		sa = append(sa, a.NextScrub(5))
+		sb = append(sb, b.NextScrub(5))
+	}
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, sa, sb)
+		}
+	}
+	// The cursor starts at seed mod pages and wraps over the whole table.
+	want := []uint64{3, 4, 0, 1, 2, 3, 4, 0, 1, 2, 3, 4}
+	for i := range want {
+		if sa[i] != want[i] {
+			t.Fatalf("cursor sequence %v, want %v", sa, want)
+		}
+	}
+	// Negative seeds normalize.
+	if n := New(Config{ScrubPages: 1}, 5, -7); n.NextScrub(5) > 4 {
+		t.Error("negative seed produced an out-of-range cursor")
+	}
+}

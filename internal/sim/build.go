@@ -15,6 +15,7 @@ import (
 	"tmcc/internal/obs"
 	"tmcc/internal/pagetable"
 	"tmcc/internal/ptbcomp"
+	"tmcc/internal/ras"
 	"tmcc/internal/tlb"
 	"tmcc/internal/workload"
 )
@@ -55,6 +56,14 @@ func NewRunnerObserved(opt Options, ob *obs.Observer) (*Runner, error) {
 // key): one process runs one fault plan. A nil injector is exactly
 // NewRunnerObserved — every fault site stays on its no-fault branch.
 func NewRunnerInjected(opt Options, ob *obs.Observer, inj *fault.Injector) (*Runner, error) {
+	return NewRunnerFull(opt, ob, inj, ras.Config{})
+}
+
+// NewRunnerFull additionally arms the RAS reliability policies. Like the
+// observer and the injector, the RAS config lives outside Options (and so
+// outside the memo key): one process runs one policy. The zero config is
+// exactly NewRunnerInjected — every RAS hook stays on its disabled branch.
+func NewRunnerFull(opt Options, ob *obs.Observer, inj *fault.Injector, rcfg ras.Config) (*Runner, error) {
 	spec, ok := workload.SpecFor(opt.Benchmark)
 	if !ok {
 		return nil, fmt.Errorf("sim: unknown benchmark %q", opt.Benchmark)
@@ -143,6 +152,7 @@ func NewRunnerInjected(opt Options, ob *obs.Observer, inj *fault.Injector) (*Run
 		Obs:          ob,
 		Heat:         hmv,
 		Inject:       inj,
+		RAS:          rcfg,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("sim: %s/%s: %w", opt.Benchmark, opt.Kind, err)
@@ -189,6 +199,22 @@ func NewRunnerInjected(opt Options, ob *obs.Observer, inj *fault.Injector) (*Run
 	// Per-PTB hardware state, flat over the (now final) table's PTB slots,
 	// plus the reusable hot-loop scratch (see Runner field docs).
 	r.ptbs = make([]ptbState, r.as.Table.PTBSlots())
+	if rcfg.ScrubPages > 0 && opt.Kind == mc.TMCC && !opt.DisableEmbed && len(r.ptbs) > 0 {
+		// Arm the RAS layer's embedded-CTE patrol: a bounded round-robin
+		// sweep over the PTB slots each policy window, refreshing stale
+		// embedded CTEs before a demand access mis-speculates on them. The
+		// cursor's start offset derives from the run seed, like the MC-side
+		// patrol's.
+		width := rcfg.WindowPS
+		if width <= 0 {
+			width = ras.DefaultWindow
+		}
+		off := opt.Seed % int64(len(r.ptbs))
+		if off < 0 {
+			off += int64(len(r.ptbs))
+		}
+		r.rasCTE = &ctePatrol{width: width, quota: rcfg.ScrubPages, cursor: int(off)}
+	}
 	r.walkBuf = make([]pagetable.Step, 0, pagetable.Levels)
 	r.gwalkBuf = make([]pagetable.Step, 0, pagetable.Levels)
 	r.pfBuf = make([]uint64, 0, 1+sys.Cache.StrideDegreeL2)

@@ -10,6 +10,8 @@ import (
 	"tmcc/internal/mc"
 	"tmcc/internal/obs"
 	"tmcc/internal/obs/attr"
+	"tmcc/internal/obs/timeline"
+	"tmcc/internal/pagetable"
 	"tmcc/internal/workload"
 )
 
@@ -111,6 +113,9 @@ func (r *Runner) runAccesses(n int) {
 			if r.hmv.Advance(c.time) {
 				r.mcc.SampleResidency(r.hmSample)
 			}
+			if r.rasCTE != nil {
+				r.patrolCTE(c.time)
+			}
 		}
 		return
 	}
@@ -136,6 +141,9 @@ func (r *Runner) runAccesses(n int) {
 		r.tlv.Advance(r.heap[0].time)
 		if r.hmv.Advance(r.heap[0].time) {
 			r.mcc.SampleResidency(r.hmSample)
+		}
+		if r.rasCTE != nil {
+			r.patrolCTE(r.heap[0].time)
 		}
 	}
 }
@@ -627,6 +635,59 @@ func (r *Runner) repairPTB(ptbAddr, ppn uint64, correct cte.Entry) {
 }
 
 func pteePPN(pte uint64) uint64 { return (pte >> 12) & (1<<40 - 1) }
+
+// patrolCTE runs the RAS embedded-CTE scrubber when a policy-window edge
+// passes: a bounded round-robin sweep over the PTB slots, comparing each
+// embedded CTE against the MC's authoritative translation and refreshing
+// stale copies before a demand access mis-speculates on them. The visit
+// and repair counts bank their cycle cost into the MC's scrub backlog
+// (ChargeCTEScrub), so the patrol is paid for on the same conserved
+// degraded-attr path as the MC-side payload patrol. Batch-paced like the
+// timeline probes; the times it sees are monotone non-decreasing, so
+// edges never re-fire.
+func (r *Runner) patrolCTE(now config.Time) {
+	w := timeline.WindowStart(now, r.rasCTE.width)
+	if w <= r.rasCTE.curWin {
+		return
+	}
+	r.rasCTE.curWin = w
+	visited, repairs := 0, 0
+	max := r.pcfg.MaxEmbeddable()
+	for i := 0; i < r.rasCTE.quota; i++ {
+		slot := r.rasCTE.cursor
+		r.rasCTE.cursor++
+		if r.rasCTE.cursor >= len(r.ptbs) {
+			r.rasCTE.cursor = 0
+		}
+		st := &r.ptbs[slot]
+		if !st.init || !st.compressible {
+			continue
+		}
+		addr, ok := r.as.Table.PTBAddrBySlot(slot)
+		if !ok {
+			continue
+		}
+		ptes, ok := r.as.Table.PTBByAddr(addr)
+		if !ok {
+			continue
+		}
+		visited++
+		for j, pte := range ptes {
+			if j >= max || pte&pagetable.FlagPresent == 0 || !st.hasCTE[j] {
+				continue
+			}
+			ppn := pteePPN(pte)
+			if !r.mcc.Placed(ppn) {
+				continue
+			}
+			if correct := r.mcc.CurrentCTE(ppn); st.entries[j] != correct {
+				st.entries[j] = correct
+				repairs++
+			}
+		}
+	}
+	r.mcc.ChargeCTEScrub(visited, repairs)
+}
 
 // Spec exposes the workload parameters of this run.
 func (r *Runner) Spec() workload.Spec { return r.spec }

@@ -134,6 +134,16 @@ type ptbState struct {
 	entries      [8]cte.Entry
 }
 
+// ctePatrol is the RAS embedded-CTE scrubber's state: window pacing over
+// simulated time (the same window arithmetic the breaker uses) and a
+// wrapping cursor over the PTB slots.
+type ctePatrol struct {
+	width  config.Time
+	quota  int
+	curWin int64
+	cursor int
+}
+
 // batchSize is the per-core access batch: trace generation and address
 // translation run batchSize records ahead of timing, and the sticky
 // capacity-error check in runAccesses happens once per batch.
@@ -248,6 +258,15 @@ type Runner struct {
 	// owns the embedded-CTE fault site — the PTB/CTE-Buffer machinery lives
 	// here — while the MC holds the payload and DRAM sites.
 	inj *fault.Injector
+
+	// rasCTE is the RAS layer's embedded-CTE patrol (nil unless RAS
+	// scrubbing is armed on a TMCC run with embedding): the batch loop
+	// probes it for policy-window edges, and each edge sweeps a bounded
+	// number of PTB slots, refreshing stale embedded CTEs against the MC's
+	// authoritative translations. The patrol's cycle cost banks into the
+	// MC's scrub backlog so the cross-layer scrubber shares one conserved
+	// charging path.
+	rasCTE *ctePatrol
 
 	// ag is the latency-attribution sink for this run's (benchmark,
 	// kind); nil when attribution is off. attrWalk carries the most
